@@ -1,0 +1,343 @@
+package motsim
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, plus ablation benches for the design choices listed
+// in DESIGN.md §5. Regeneration of the actual table rows is done by
+// cmd/mottables; these benchmarks measure the cost of each experiment's
+// computational kernel and serve as regression guards for the measured
+// shapes (each bench asserts its experiment's qualitative outcome once).
+
+import (
+	"testing"
+
+	"repro/internal/bitsim"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/fault"
+	"repro/internal/seqsim"
+	"repro/internal/tgen"
+)
+
+// --- Figure 1: conventional three-valued simulation of s27 ---
+
+func BenchmarkFig1Conventional(b *testing.B) {
+	c := circuits.S27()
+	pat := Pattern{One, Zero, One, One}
+	ps := []Val{X, X, X}
+	vals := make([]Val, c.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalFrame(c, pat, ps, nil, vals)
+	}
+	if vals[c.Outputs[0]] != X {
+		b.Fatal("Figure 1 property violated")
+	}
+}
+
+// --- Figure 2: state expansion at time 0 on s27 ---
+
+func BenchmarkFig2Expansion(b *testing.B) {
+	c := circuits.S27()
+	pat := Pattern{One, Zero, One, One}
+	vals := make([]Val, c.NumNodes())
+	count := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count = 0
+		for ffIdx := 0; ffIdx < c.NumFFs(); ffIdx++ {
+			for _, alpha := range []Val{Zero, One} {
+				ps := []Val{X, X, X}
+				ps[ffIdx] = alpha
+				EvalFrame(c, pat, ps, nil, vals)
+				if vals[c.Outputs[0]].IsBinary() {
+					count++
+				}
+				for _, ff := range c.FFs {
+					if vals[ff.D].IsBinary() {
+						count++
+					}
+				}
+			}
+		}
+	}
+	if count != 3+0+5 {
+		b.Fatalf("Figure 2 counts = %d, want 8", count)
+	}
+}
+
+// --- Figure 3: backward implication on s27 ---
+
+func BenchmarkFig3Backward(b *testing.B) {
+	c := circuits.S27()
+	pat := Pattern{One, Zero, One, One}
+	base := make([]Val, c.NumNodes())
+	EvalFrame(c, pat, []Val{X, X, X}, nil, base)
+	total := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total = 0
+		for _, alpha := range []Val{Zero, One} {
+			fr := NewFrame(c, nil, base)
+			if !fr.AssignNextState(1, alpha) || !fr.ImplyTwoPass() {
+				b.Fatal("unexpected conflict")
+			}
+			if fr.Output(0).IsBinary() {
+				total++
+			}
+			for j := 0; j < c.NumFFs(); j++ {
+				if fr.NextState(j).IsBinary() {
+					total++
+				}
+			}
+		}
+	}
+	if total != 7 {
+		b.Fatalf("Figure 3 count = %d, want 7", total)
+	}
+}
+
+// --- Figure 4: implication conflict ---
+
+func BenchmarkFig4Conflict(b *testing.B) {
+	c := circuits.Fig4()
+	base := make([]Val, c.NumNodes())
+	EvalFrame(c, Pattern{Zero}, []Val{X}, nil, base)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fr := NewFrame(c, nil, base)
+		if fr.AssignNextState(0, One) && fr.ImplyTwoPass() {
+			b.Fatal("Figure 4 conflict not found")
+		}
+	}
+}
+
+// --- Table 1: the expansion-resolves-detection mechanism ---
+
+func BenchmarkTable1Example(b *testing.B) {
+	c := circuits.Table1()
+	a, _ := c.NodeByName("a")
+	f := Fault{Node: a, Gate: -1, Stuck: One}
+	T := make(Sequence, 4)
+	for u := range T {
+		T[u] = Pattern{Zero}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := New(c, T, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		o, err := sim.SimulateFault(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if o.Outcome != DetectedMOT {
+			b.Fatalf("outcome = %v, want DetectedMOT", o.Outcome)
+		}
+	}
+}
+
+// --- Table 2: whole-circuit fault counts, one bench per suite tier ---
+
+// benchTable2 runs the full Table 2 experiment (proposed + baseline) for
+// one suite entry per iteration and asserts the paper's ordering.
+func benchTable2(b *testing.B, name string) {
+	e, err := circuits.SuiteEntryByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunEntry(e, experiments.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if run.Proposed.Detected() < run.Baseline.Detected() ||
+			run.Baseline.Detected() < run.Proposed.Conv {
+			b.Fatalf("%s: ordering violated: conv=%d base=%d prop=%d",
+				name, run.Proposed.Conv, run.Baseline.Detected(), run.Proposed.Detected())
+		}
+	}
+}
+
+func BenchmarkTable2_sg208(b *testing.B)  { benchTable2(b, "sg208") }
+func BenchmarkTable2_sg298(b *testing.B)  { benchTable2(b, "sg298") }
+func BenchmarkTable2_sg344(b *testing.B)  { benchTable2(b, "sg344") }
+func BenchmarkTable2_sg420(b *testing.B)  { benchTable2(b, "sg420") }
+func BenchmarkTable2_sg641(b *testing.B)  { benchTable2(b, "sg641") }
+func BenchmarkTable2_sg713(b *testing.B)  { benchTable2(b, "sg713") }
+func BenchmarkTable2_sg1423(b *testing.B) { benchTable2(b, "sg1423") }
+
+// --- Table 3: counter collection on a counter-rich circuit ---
+
+func BenchmarkTable3Counters(b *testing.B) {
+	e, err := circuits.SuiteEntryByName("sg298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := experiments.RunEntry(e, experiments.Options{SkipBaselineScaled: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, extra := run.Proposed.AvgCounters()
+		if run.Proposed.MOT > 0 && extra <= 0 {
+			b.Fatal("Table 3 extra counter should be positive when MOT detections exist")
+		}
+	}
+}
+
+// --- Closing experiment: deterministic (HITEC-style) sequence ---
+
+func BenchmarkHITECStyle(b *testing.B) {
+	e, err := circuits.SuiteEntryByName("sg298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Build()
+	faults := fault.CollapsedList(c)
+	gcfg := tgen.DefaultGreedyConfig()
+	gcfg.MaxLen = 64
+	gcfg.Seed = e.SeqSeed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		T, err := tgen.Greedy(c, faults, gcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim, err := core.NewSimulator(c, T, core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sim.Run(faults, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+// BenchmarkAblationImplicationPasses compares the paper's two-pass
+// schedule against the fixpoint extension on the sg344 workload.
+func BenchmarkAblationImplicationPasses(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg344")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	for _, sched := range []struct {
+		name string
+		s    core.Schedule
+	}{{"two-pass", core.TwoPass}, {"fixpoint", core.Fixpoint}} {
+		b.Run(sched.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Schedule = sched.s
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := core.NewSimulator(c, T, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(faults, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBackwardDepth compares single-time-unit backward
+// implications (the paper) with the multi-time-unit extension.
+func BenchmarkAblationBackwardDepth(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg344")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	for _, depth := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "depth1", 2: "depth2", 4: "depth4"}[depth], func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.BackwardDepth = depth
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := core.NewSimulator(c, T, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(faults, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNStates sweeps the expansion budget.
+func BenchmarkAblationNStates(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg298")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	for _, n := range []int{4, 16, 64, 256} {
+		b.Run(map[int]string{4: "n4", 16: "n16", 64: "n64", 256: "n256"}[n], func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.NStates = n
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := core.NewSimulator(c, T, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(faults, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationFrameEval compares the three conventional-simulation
+// engines: bit-parallel (63 machines per word), event-driven serial, and
+// full-pass serial.
+func BenchmarkAblationFrameEval(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg641")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	b.Run("bitparallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bitsim.Run(c, T, faults); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []string{"delta", "full"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				var s *seqsim.Simulator
+				if mode == "delta" {
+					s = seqsim.New(c)
+				} else {
+					s = seqsim.NewFullPass(c)
+				}
+				good, err := s.Run(T, nil, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := s.RunFaults(T, good, faults); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

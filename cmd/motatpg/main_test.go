@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunS27(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.vec")
+	if err := run("", "s27", 8, 150, 32, 1, out, true); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "patterns") {
+		t.Error("vector file header missing")
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if run("", "", 8, 100, 0, 1, "", false) == nil {
+		t.Error("no circuit accepted")
+	}
+	if run("", "bogus", 8, 100, 0, 1, "", false) == nil {
+		t.Error("unknown circuit accepted")
+	}
+	if run("", "s27", 0, 100, 0, 1, "", false) == nil {
+		t.Error("invalid frame bound accepted")
+	}
+}

@@ -1,0 +1,152 @@
+// Command motdiag performs fault-dictionary diagnosis: it builds the
+// pass/fail dictionary of a circuit under a test sequence, obtains an
+// observed failure set — either from a failure-log file or by simulating
+// a device with a chosen fault and initial state — and prints the ranked
+// candidate faults.
+//
+//	motdiag -circuit s27 -random 16 -seed 42 -inject 'G11/SA0' -init 101
+//	motdiag -bench d.bench -vectors t.vec -failures fails.log
+//
+// A failure log lists one failing observation per line: "TIME OUTPUT".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/diagnosis"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "ISCAS-89 .bench netlist file")
+		builtin   = flag.String("circuit", "", "built-in circuit name")
+		vecPath   = flag.String("vectors", "", "test sequence file")
+		randomLen = flag.Int("random", 0, "random test sequence length")
+		seed      = flag.Int64("seed", 1, "random sequence seed")
+		failPath  = flag.String("failures", "", "failure log file (TIME OUTPUT per line)")
+		inject    = flag.String("inject", "", "simulate a device with this fault (name as printed by motfsim -list)")
+		initBits  = flag.String("init", "", "initial state bits for -inject (e.g. 101); default all zeros")
+		top       = flag.Int("top", 10, "print the N best candidates")
+	)
+	flag.Parse()
+	if err := run(*benchPath, *builtin, *vecPath, *randomLen, *seed, *failPath, *inject, *initBits, *top); err != nil {
+		fmt.Fprintln(os.Stderr, "motdiag:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchPath, builtin, vecPath string, randomLen int, seed int64,
+	failPath, inject, initBits string, top int) error {
+
+	var (
+		c   *motsim.Circuit
+		err error
+	)
+	switch {
+	case benchPath != "":
+		c, err = motsim.LoadBench(benchPath)
+	case builtin != "":
+		c, err = motsim.BuiltinCircuit(builtin)
+	default:
+		return fmt.Errorf("need -bench FILE or -circuit NAME")
+	}
+	if err != nil {
+		return err
+	}
+
+	var T motsim.Sequence
+	switch {
+	case vecPath != "":
+		if T, err = motsim.ReadVectorsFile(vecPath); err != nil {
+			return err
+		}
+	case randomLen > 0:
+		T = motsim.RandomSequence(c, randomLen, seed)
+	default:
+		return fmt.Errorf("need -vectors FILE or -random N")
+	}
+
+	faults := motsim.CollapsedFaults(c)
+	dict, err := diagnosis.Build(c, T, faults)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dictionary: %s, %d faults, %d patterns\n", c.Name, len(faults), len(T))
+
+	var obs *diagnosis.Observation
+	switch {
+	case failPath != "":
+		failures, err := readFailures(failPath)
+		if err != nil {
+			return err
+		}
+		if obs, err = dict.NewObservation(failures); err != nil {
+			return err
+		}
+		fmt.Printf("observation: %d failing positions from %s\n", len(failures), failPath)
+	case inject != "":
+		f, err := motsim.FaultByName(c, faults, inject)
+		if err != nil {
+			return err
+		}
+		init := make([]int, c.NumFFs())
+		if initBits != "" {
+			if len(initBits) != c.NumFFs() {
+				return fmt.Errorf("-init needs %d bits", c.NumFFs())
+			}
+			for i := 0; i < len(initBits); i++ {
+				if initBits[i] == '1' {
+					init[i] = 1
+				}
+			}
+		}
+		if obs, err = dict.ObservationOf(f, init); err != nil {
+			return err
+		}
+		fmt.Printf("observation: simulated device with %s, initial state %v\n", inject, init)
+	default:
+		return fmt.Errorf("need -failures FILE or -inject FAULT")
+	}
+
+	cands := dict.Diagnose(obs)
+	if top > len(cands) {
+		top = len(cands)
+	}
+	fmt.Println("rank  exact  matched  missed  unexplained  fault")
+	for i := 0; i < top; i++ {
+		cd := cands[i]
+		fmt.Printf("%4d  %-5v  %7d  %6d  %11d  %s\n",
+			i+1, cd.Exact, cd.Matched, cd.Missed, cd.Unexplained, cd.Fault.Name(c))
+	}
+	return nil
+}
+
+// readFailures parses a failure log.
+func readFailures(path string) ([]diagnosis.Position, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []diagnosis.Position
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var p diagnosis.Position
+		if _, err := fmt.Sscanf(line, "%d %d", &p.Time, &p.Output); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		out = append(out, p)
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunInject(t *testing.T) {
+	if err := run("", "s27", "", 16, 1997, "", "G17/SA0", "000", 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInjectDefaultInit(t *testing.T) {
+	if err := run("", "s27", "", 12, 7, "", "G17/SA0", "", 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFailureLog(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "fails.log")
+	if err := os.WriteFile(log, []byte("# header\n0 0\n2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "s27", "", 8, 1, log, "", "", 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if run("", "", "", 8, 1, "", "G17/SA0", "", 5) == nil {
+		t.Error("no circuit accepted")
+	}
+	if run("", "s27", "", 0, 1, "", "G17/SA0", "", 5) == nil {
+		t.Error("no sequence accepted")
+	}
+	if run("", "s27", "", 8, 1, "", "", "", 5) == nil {
+		t.Error("no observation source accepted")
+	}
+	if run("", "s27", "", 8, 1, "", "nope/SA7", "", 5) == nil {
+		t.Error("unknown fault accepted")
+	}
+	if run("", "s27", "", 8, 1, "", "G17/SA0", "01", 5) == nil {
+		t.Error("wrong init width accepted")
+	}
+	if run("", "s27", "", 8, 1, filepath.Join(t.TempDir(), "missing.log"), "", "", 5) == nil {
+		t.Error("missing failure log accepted")
+	}
+}
+
+func TestReadFailuresBadLine(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "bad.log")
+	if err := os.WriteFile(log, []byte("frob\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readFailures(log); err == nil {
+		t.Error("malformed failure line accepted")
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro"
+)
+
+func TestRunMethods(t *testing.T) {
+	for _, method := range []string{"conventional", "lowcomplexity", "baseline", "proposed"} {
+		if err := run("", "s27", "", 16, false, 7, method, 64, false, false, false, 1); err != nil {
+			t.Errorf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		err  func() error
+	}{
+		{"noCircuit", func() error { return run("", "", "", 8, false, 1, "proposed", 64, false, false, false, 1) }},
+		{"bothCircuits", func() error { return run("x.bench", "s27", "", 8, false, 1, "proposed", 64, false, false, false, 1) }},
+		{"unknownCircuit", func() error { return run("", "bogus", "", 8, false, 1, "proposed", 64, false, false, false, 1) }},
+		{"noSequence", func() error { return run("", "s27", "", 0, false, 1, "proposed", 64, false, false, false, 1) }},
+		{"badMethod", func() error { return run("", "s27", "", 8, false, 1, "frob", 64, false, false, false, 1) }},
+	}
+	for _, tc := range cases {
+		if tc.err() == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+func TestRunWithVectorsAndList(t *testing.T) {
+	dir := t.TempDir()
+	vec := filepath.Join(dir, "t.vec")
+	if err := os.WriteFile(vec, []byte("1011\n0110\n1111\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("", "s27", vec, 0, false, 1, "proposed", 64, true, true, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunStatsOnly(t *testing.T) {
+	if err := run("", "s27", "", 0, false, 1, "proposed", 64, false, false, true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGreedy(t *testing.T) {
+	if err := run("", "s27", "", 16, true, 3, "baseline", 16, false, false, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.bench")
+	c, err := motsim.BuiltinCircuit("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := motsim.WriteBench(f, c); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run(path, "", "", 8, false, 1, "conventional", 64, false, false, false, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDumpVCD(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "w.vcd")
+	if err := dumpVCD("", "s27", "", 8, 1, out, "G11/SA1"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil || len(data) == 0 {
+		t.Fatal("VCD not written")
+	}
+	if err := dumpVCD("", "s27", "", 0, 1, out, ""); err == nil {
+		t.Error("VCD without sequence accepted")
+	}
+	if err := dumpVCD("", "s27", "", 4, 1, out, "nope/SA9"); err == nil {
+		t.Error("unknown fault accepted")
+	}
+}

@@ -1,0 +1,85 @@
+// Command motgen emits workloads: built-in or synthetic circuits in
+// .bench format, and test-sequence files.
+//
+//	motgen -circuit sg298 -o sg298.bench
+//	motgen -synth -inputs 8 -outputs 4 -ffs 12 -free-ffs 2 -gates 150 -seed 9 -o c.bench
+//	motgen -circuit s27 -random 64 -seed 3 -o s27.vec
+//	motgen -circuit s27 -dot -o s27.dot
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		builtin = flag.String("circuit", "", "built-in circuit name")
+		synth   = flag.Bool("synth", false, "generate a synthetic circuit")
+		inputs  = flag.Int("inputs", 8, "synthetic: primary inputs")
+		outputs = flag.Int("outputs", 4, "synthetic: primary outputs")
+		ffs     = flag.Int("ffs", 8, "synthetic: flip-flops")
+		freeFFs = flag.Int("free-ffs", 1, "synthetic: parity-feedback flip-flops")
+		gates   = flag.Int("gates", 100, "synthetic: cloud gates")
+		seed    = flag.Int64("seed", 1, "generation seed")
+		random  = flag.Int("random", 0, "emit a random test sequence of this length instead of the netlist")
+		dot     = flag.Bool("dot", false, "emit Graphviz dot instead of .bench")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	if err := run(*builtin, *synth, *inputs, *outputs, *ffs, *freeFFs, *gates, *seed, *random, *dot, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "motgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(builtin string, synth bool, inputs, outputs, ffs, freeFFs, gates int,
+	seed int64, random int, dot bool, out string) error {
+
+	var (
+		c   *motsim.Circuit
+		err error
+	)
+	switch {
+	case builtin != "" && synth:
+		return fmt.Errorf("use either -circuit or -synth, not both")
+	case builtin != "":
+		if c, err = motsim.BuiltinCircuit(builtin); err != nil {
+			return fmt.Errorf("%w (known: %v)", err, motsim.BuiltinNames())
+		}
+	case synth:
+		c, err = motsim.Generate(motsim.GenParams{
+			Name:   fmt.Sprintf("synth%d", seed),
+			Inputs: inputs, Outputs: outputs,
+			FFs: ffs, FreeFFs: freeFFs,
+			Gates: gates, Seed: seed,
+		})
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("need -circuit NAME or -synth")
+	}
+
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case random > 0:
+		return motsim.WriteVectors(w, motsim.RandomSequence(c, random, seed))
+	case dot:
+		_, err := fmt.Fprint(w, c.DOT())
+		return err
+	default:
+		return motsim.WriteBench(w, c)
+	}
+}

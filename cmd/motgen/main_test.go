@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBenchOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.bench")
+	if err := run("s27", false, 0, 0, 0, 0, 0, 1, 0, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil || !strings.Contains(string(data), "DFF") {
+		t.Fatalf("bench output wrong: %v", err)
+	}
+}
+
+func TestRunSynth(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "s.bench")
+	if err := run("", true, 6, 3, 5, 1, 60, 9, 0, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "INPUT(i0)") {
+		t.Error("synthetic netlist missing inputs")
+	}
+}
+
+func TestRunVectors(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "t.vec")
+	if err := run("s27", false, 0, 0, 0, 0, 0, 3, 12, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "# 12 patterns") {
+		t.Errorf("vector output wrong: %s", data)
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "c.dot")
+	if err := run("fig4", false, 0, 0, 0, 0, 0, 1, 0, true, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "digraph") {
+		t.Error("dot output wrong")
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if run("", false, 0, 0, 0, 0, 0, 1, 0, false, "") == nil {
+		t.Error("no circuit accepted")
+	}
+	if run("s27", true, 1, 1, 1, 0, 9, 1, 0, false, "") == nil {
+		t.Error("both -circuit and -synth accepted")
+	}
+	if run("bogus", false, 0, 0, 0, 0, 0, 1, 0, false, "") == nil {
+		t.Error("unknown circuit accepted")
+	}
+	if run("", true, 0, 0, 0, 0, 0, 1, 0, false, "") == nil {
+		t.Error("invalid synth params accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command motstats prints structural and testability diagnostics for a
+// circuit: size statistics, SCOAP-style controllability/observability
+// summaries, structural observability/controllability sets, sequential
+// depth, and (for small circuits) exact oracle detectability counts.
+//
+//	motstats -circuit s27
+//	motstats -bench design.bench -oracle -random 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+	"repro/internal/oracle"
+	"repro/internal/testability"
+)
+
+func main() {
+	var (
+		benchPath = flag.String("bench", "", "ISCAS-89 .bench netlist file")
+		builtin   = flag.String("circuit", "", "built-in circuit name")
+		useOracle = flag.Bool("oracle", false, "run the exhaustive detectability oracle (small circuits only)")
+		randomLen = flag.Int("random", 32, "sequence length for the oracle")
+		seed      = flag.Int64("seed", 1, "sequence seed for the oracle")
+		worst     = flag.Int("worst", 5, "list the N hardest-to-observe nodes")
+	)
+	flag.Parse()
+	if err := run(*benchPath, *builtin, *useOracle, *randomLen, *seed, *worst); err != nil {
+		fmt.Fprintln(os.Stderr, "motstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchPath, builtin string, useOracle bool, randomLen int, seed int64, worst int) error {
+	var (
+		c   *motsim.Circuit
+		err error
+	)
+	switch {
+	case benchPath != "":
+		c, err = motsim.LoadBench(benchPath)
+	case builtin != "":
+		c, err = motsim.BuiltinCircuit(builtin)
+	default:
+		return fmt.Errorf("need -bench FILE or -circuit NAME")
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(c.Stats())
+
+	obs := c.ObservableNodes()
+	ctrl := c.ControllableNodes()
+	nObs, nCtrl := 0, 0
+	for n := 0; n < c.NumNodes(); n++ {
+		if obs[n] {
+			nObs++
+		}
+		if ctrl[n] {
+			nCtrl++
+		}
+	}
+	fmt.Printf("structural: %d/%d observable, %d/%d input-controllable\n",
+		nObs, c.NumNodes(), nCtrl, c.NumNodes())
+
+	depth := c.SequentialDepth()
+	maxDepth, unreachable := 0, 0
+	for _, d := range depth {
+		if d < 0 {
+			unreachable++
+		} else if d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fmt.Printf("sequential depth: max %d, %d flip-flops unreachable from inputs\n", maxDepth, unreachable)
+
+	m := testability.Compute(c)
+	fmt.Println("SCOAP:", m.Summarize(c))
+	if worst > 0 {
+		type hard struct {
+			name string
+			co   int32
+		}
+		var hs []hard
+		for n := 0; n < c.NumNodes(); n++ {
+			if m.CO[n] < testability.Inf {
+				hs = append(hs, hard{c.NodeName(int32ToNode(n)), m.CO[n]})
+			}
+		}
+		for i := 0; i < len(hs); i++ {
+			for j := i + 1; j < len(hs); j++ {
+				if hs[j].co > hs[i].co {
+					hs[i], hs[j] = hs[j], hs[i]
+				}
+			}
+		}
+		if len(hs) > worst {
+			hs = hs[:worst]
+		}
+		fmt.Println("hardest finite observabilities:")
+		for _, h := range hs {
+			fmt.Printf("  %-10s CO=%d\n", h.name, h.co)
+		}
+	}
+
+	if useOracle {
+		T := motsim.RandomSequence(c, randomLen, seed)
+		o, err := oracle.New(c, T)
+		if err != nil {
+			return err
+		}
+		counts, _, err := o.DecideAll(motsim.CollapsedFaults(c))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("oracle (%d random patterns): %d faults, conventional=%d restrictedMOT=%d fullMOT=%d\n",
+			randomLen, counts.Total, counts.Conventional, counts.RestrictedMOT, counts.FullMOT)
+	}
+	return nil
+}
+
+func int32ToNode(n int) motsim.NodeID { return motsim.NodeID(n) }

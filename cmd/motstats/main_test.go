@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunS27WithOracle(t *testing.T) {
+	if err := run("", "s27", true, 16, 1, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSuiteCircuit(t *testing.T) {
+	if err := run("", "sg208", false, 0, 1, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejects(t *testing.T) {
+	if run("", "", false, 0, 1, 0) == nil {
+		t.Error("no circuit accepted")
+	}
+	if run("", "bogus", false, 0, 1, 0) == nil {
+		t.Error("unknown circuit accepted")
+	}
+	// Oracle on a circuit with too many flip-flops (sg1423 has 74) must
+	// fail cleanly and quickly.
+	if run("", "sg1423", true, 8, 1, 0) == nil {
+		t.Error("oracle over the FF limit accepted")
+	}
+}

@@ -1,0 +1,78 @@
+// expansion demonstrates the state-expansion mechanics of Table 1: a
+// fault whose conventional three-valued response is unspecified is
+// resolved by replacing the incompletely specified faulty state with two
+// expanded states, each of which leads to a detection.
+//
+// The scenario mirrors the paper's introductory example: with input a
+// held at 0 the fault-free output is constantly 0, while under the stem
+// fault a stuck-at-1 the outputs observe the free-running state
+// variables, so conventional simulation sees only x.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	c, err := motsim.BuiltinCircuit("table1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := c.NodeByName("a")
+	f := motsim.Fault{Node: a, Gate: -1, Stuck: motsim.One}
+	const L = 4
+	T := make(motsim.Sequence, L)
+	for u := range T {
+		T[u] = motsim.Pattern{motsim.Zero}
+	}
+
+	fmt.Printf("circuit %s, fault %s, %d all-zero patterns\n\n", c.Name, f.Name(c), L)
+
+	// Conventional simulation, Table 1(a) style.
+	fmt.Println("(a) conventional simulation")
+	printRun(c, T, nil, []motsim.Val{motsim.X, motsim.X}, "fault free")
+	printRun(c, T, &f, []motsim.Val{motsim.X, motsim.X}, "faulty")
+
+	// Expansion of state variable q1 at time 0, Table 1(b) style.
+	fmt.Println("\n(b) after expansion of q1 at time 0")
+	printRun(c, T, &f, []motsim.Val{motsim.Zero, motsim.X}, "faulty, q1=0")
+	printRun(c, T, &f, []motsim.Val{motsim.One, motsim.X}, "faulty, q1=1")
+
+	// And the verdict from the full procedure.
+	sim, err := motsim.New(c, T, motsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := sim.SimulateFault(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMOT procedure verdict: %v (expansions=%d, sequences=%d)\n",
+		o.Outcome, o.Expansions, o.Sequences)
+}
+
+// printRun simulates T from the given initial state and prints the state
+// and output rows in the style of Table 1.
+func printRun(c *motsim.Circuit, T motsim.Sequence, f *motsim.Fault, st []motsim.Val, label string) {
+	vals := make([]motsim.Val, c.NumNodes())
+	states := fmt.Sprintf("%v%v", st[0], st[1])
+	outputs := ""
+	for u := range T {
+		motsim.EvalFrame(c, T[u], st, f, vals)
+		outputs += fmt.Sprintf(" %v%v", vals[c.Outputs[0]], vals[c.Outputs[1]])
+		next := make([]motsim.Val, len(st))
+		for i, ff := range c.FFs {
+			next[i] = vals[ff.D]
+			if f != nil {
+				next[i] = f.Observed(ff.Q, next[i])
+			}
+		}
+		st = next
+		states += fmt.Sprintf(" %v%v", st[0], st[1])
+	}
+	fmt.Printf("  %-14s state: %s\n", label, states)
+	fmt.Printf("  %-14s output:%s\n", "", outputs)
+}

@@ -1,0 +1,73 @@
+// Quickstart: load the real ISCAS-89 s27 circuit, build a random test
+// sequence, and run fault simulation under the multiple observation time
+// approach, comparing the proposed procedure against conventional
+// simulation and the state-expansion-only baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	c, err := motsim.BuiltinCircuit("s27")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("circuit:", c.Stats())
+
+	T := motsim.RandomSequence(c, 64, 1997)
+	faults := motsim.CollapsedFaults(c)
+	fmt.Printf("workload: %d patterns, %d collapsed stuck-at faults\n\n", len(T), len(faults))
+
+	for _, m := range []struct {
+		name string
+		cfg  motsim.Config
+	}{
+		{"proposed (backward implications)", motsim.DefaultConfig()},
+		{"baseline [4] (expansion only)", motsim.BaselineConfig()},
+	} {
+		sim, err := motsim.New(c, T, m.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.Run(faults, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s:\n", m.name)
+		fmt.Printf("  conventional detections: %d\n", res.Conv)
+		fmt.Printf("  MOT-only detections:     %d\n", res.MOT)
+		fmt.Printf("  total:                   %d / %d\n\n", res.Detected(), res.Total)
+	}
+
+	// Per-fault drill-down on a fault only the MOT approach credits: the
+	// paper's introductory scenario (the faulty output equals a
+	// free-running state variable, so conventional simulation sees only
+	// x, yet every initial state leads to a detection).
+	intro, err := motsim.BuiltinCircuit("intro")
+	if err != nil {
+		log.Fatal(err)
+	}
+	Ti := motsim.Sequence{{motsim.Zero}, {motsim.Zero}, {motsim.Zero}}
+	sim, err := motsim.New(intro, Ti, motsim.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range motsim.CollapsedFaults(intro) {
+		o, err := sim.SimulateFault(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if o.Outcome == motsim.DetectedMOT {
+			fmt.Printf("example MOT-only detection (intro circuit): %s\n", f.Name(intro))
+			fmt.Printf("  implication pairs collected: %d\n", o.Pairs)
+			fmt.Printf("  expansions: %d, final sequences: %d\n", o.Expansions, o.Sequences)
+			fmt.Printf("  counters: detect=%d conf=%d extra=%d\n",
+				o.Counters.Det, o.Counters.Conf, o.Counters.Extra)
+			break
+		}
+	}
+}

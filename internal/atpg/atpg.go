@@ -1,0 +1,614 @@
+// Package atpg implements deterministic test-sequence generation for
+// single stuck-at faults in synchronous sequential circuits: a PODEM
+// search over a bounded time-frame expansion of the circuit.
+//
+// Values are represented as good/faulty pairs of three-valued values —
+// equivalent to Muth's nine-valued algebra, which is required for
+// sequential ATPG (a five-valued D-algebra is pessimistic across time
+// frames). The machine starts in the all-X state and only primary inputs
+// may be assigned, so any generated sequence is valid under conventional
+// test application; every result is verified by the conventional fault
+// simulator before being reported.
+//
+// This engine plays the role HITEC [9] plays in the paper's closing
+// experiment: a deterministic per-fault test generator whose sequences
+// the MOT fault simulator can then grade.
+package atpg
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+	"repro/internal/testability"
+	"repro/internal/tgen"
+)
+
+// Config bounds the search.
+type Config struct {
+	// MaxFrames is the number of time frames the circuit is unrolled to.
+	MaxFrames int
+	// MaxBacktracks bounds PODEM decision reversals per fault.
+	MaxBacktracks int
+	// RandomPhase, when positive, prepends the standard random phase to
+	// GenerateAll: that many seeded random patterns are graded first and
+	// the faults they detect are dropped before the deterministic search
+	// targets the rest. Zero disables the phase.
+	RandomPhase int
+	// RandomSeed seeds the random phase.
+	RandomSeed int64
+}
+
+// DefaultConfig returns reasonable bounds for the benchmark circuits.
+func DefaultConfig() Config {
+	return Config{MaxFrames: 8, MaxBacktracks: 400, RandomPhase: 64, RandomSeed: 1}
+}
+
+// Validate checks the configuration.
+func (cfg Config) Validate() error {
+	if cfg.MaxFrames < 1 || cfg.MaxBacktracks < 0 || cfg.RandomPhase < 0 {
+		return fmt.Errorf("atpg: invalid config %+v", cfg)
+	}
+	return nil
+}
+
+// Status classifies a per-fault generation attempt.
+type Status uint8
+
+const (
+	// Generated: a verified detecting sequence was found.
+	Generated Status = iota
+	// Aborted: the backtrack or frame budget ran out.
+	Aborted
+	// Untestable: the search space was exhausted without a test within
+	// the frame bound (the fault may still be testable with more frames).
+	Untestable
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Generated:
+		return "generated"
+	case Aborted:
+		return "aborted"
+	case Untestable:
+		return "untestable"
+	}
+	return fmt.Sprintf("Status(%d)", uint8(s))
+}
+
+// Result is the outcome for one fault.
+type Result struct {
+	Fault  fault.Fault
+	Status Status
+	// Test is the generated sequence (nil unless Generated).
+	Test seqsim.Sequence
+	// Backtracks consumed by the search.
+	Backtracks int
+}
+
+// pair is one signal's good/faulty value pair.
+type pair struct {
+	g, f logic.Val
+}
+
+// isD reports a fault effect: both sides binary and different.
+func (p pair) isD() bool {
+	return p.g.IsBinary() && p.f.IsBinary() && p.g != p.f
+}
+
+// Generator holds per-circuit state.
+type Generator struct {
+	c   *netlist.Circuit
+	cfg Config
+	m   *testability.Measures
+
+	flt fault.Fault
+
+	// pi[frame][input] is the current PI assignment.
+	pi [][]logic.Val
+	// vals[frame][node] is the good/faulty pair assignment.
+	vals [][]pair
+	// frames actually in use.
+	frames int
+}
+
+// New builds a generator for the circuit.
+func New(c *netlist.Circuit, cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{c: c, cfg: cfg, m: testability.Compute(c)}
+	g.pi = make([][]logic.Val, cfg.MaxFrames)
+	g.vals = make([][]pair, cfg.MaxFrames)
+	for u := 0; u < cfg.MaxFrames; u++ {
+		g.pi[u] = make([]logic.Val, c.NumInputs())
+		g.vals[u] = make([]pair, c.NumNodes())
+	}
+	return g, nil
+}
+
+// decision is one PODEM decision point.
+type decision struct {
+	frame, input int
+	val          logic.Val
+	flipped      bool
+}
+
+// Generate attempts to build a detecting sequence for fault f.
+func (g *Generator) Generate(f fault.Fault) Result {
+	g.flt = f
+	res := Result{Fault: f}
+	for u := range g.pi {
+		for i := range g.pi[u] {
+			g.pi[u][i] = logic.X
+		}
+	}
+	g.frames = g.cfg.MaxFrames
+
+	var stack []decision
+	for {
+		g.simulate()
+		if det, ok := g.detected(); ok {
+			_ = det
+			res.Status = Generated
+			res.Test = g.currentTest()
+			if g.verify(res.Test) {
+				return res
+			}
+			// A verification miss means the pair algebra was optimistic
+			// somewhere; treat as abort rather than report a bad test.
+			res.Status = Aborted
+			res.Test = nil
+			return res
+		}
+		frame, input, val, ok := g.nextObjective()
+		if ok {
+			stack = append(stack, decision{frame: frame, input: input, val: val})
+			g.pi[frame][input] = val
+			continue
+		}
+		// Dead end: backtrack.
+		for {
+			if len(stack) == 0 {
+				res.Status = Untestable
+				return res
+			}
+			d := &stack[len(stack)-1]
+			if !d.flipped {
+				res.Backtracks++
+				if res.Backtracks > g.cfg.MaxBacktracks {
+					res.Status = Aborted
+					return res
+				}
+				d.flipped = true
+				d.val = d.val.Not()
+				g.pi[d.frame][d.input] = d.val
+				break
+			}
+			g.pi[d.frame][d.input] = logic.X
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+// currentTest snapshots the PI assignments, with X inputs set to 0, and
+// trims trailing frames after the last detection opportunity (kept
+// simple: the full unroll is returned; verification trims nothing).
+func (g *Generator) currentTest() seqsim.Sequence {
+	T := make(seqsim.Sequence, g.frames)
+	for u := 0; u < g.frames; u++ {
+		p := make(seqsim.Pattern, len(g.pi[u]))
+		for i, v := range g.pi[u] {
+			if v == logic.X {
+				p[i] = logic.Zero
+			} else {
+				p[i] = v
+			}
+		}
+		T[u] = p
+	}
+	return T
+}
+
+// verify grades the candidate test with the conventional simulator.
+func (g *Generator) verify(T seqsim.Sequence) bool {
+	sim := seqsim.New(g.c)
+	good, err := sim.Run(T, nil, true)
+	if err != nil {
+		return false
+	}
+	res, err := sim.RunFaults(T, good, []fault.Fault{g.flt})
+	if err != nil {
+		return false
+	}
+	return res[0].Detected
+}
+
+// simulate evaluates all frames under the current PI assignment.
+func (g *Generator) simulate() {
+	c := g.c
+	for u := 0; u < g.frames; u++ {
+		vals := g.vals[u]
+		for i, id := range c.Inputs {
+			v := g.pi[u][i]
+			p := pair{g: v, f: v}
+			p = g.inject(id, p)
+			vals[id] = p
+		}
+		for _, ff := range c.FFs {
+			var p pair
+			if u == 0 {
+				p = pair{g: logic.X, f: logic.X}
+			} else {
+				p = g.vals[u-1][ff.D]
+			}
+			p = g.inject(ff.Q, p)
+			vals[ff.Q] = p
+		}
+		for _, gi := range c.Order {
+			gate := &c.Gates[gi]
+			vals[gate.Out] = g.evalGate(u, gi, gate)
+		}
+	}
+}
+
+// inject applies a stem fault to the faulty side of a pair.
+func (g *Generator) inject(id netlist.NodeID, p pair) pair {
+	if v, ok := g.flt.StuckNode(id); ok {
+		p.f = v
+	}
+	return p
+}
+
+// evalGate computes a gate's pair value in frame u.
+func (g *Generator) evalGate(u int, gi netlist.GateID, gate *netlist.Gate) pair {
+	var bufG, bufF [8]logic.Val
+	n := len(gate.In)
+	ing := bufG[:0]
+	inf := bufF[:0]
+	if n > len(bufG) {
+		ing = make([]logic.Val, 0, n)
+		inf = make([]logic.Val, 0, n)
+	}
+	for pi, id := range gate.In {
+		p := g.vals[u][id]
+		fv := p.f
+		if g.flt.Node == id && !g.flt.IsStem() && g.flt.Gate == gi && g.flt.Pin == int32(pi) {
+			fv = g.flt.Stuck
+		}
+		ing = append(ing, p.g)
+		inf = append(inf, fv)
+	}
+	out := pair{g: logic.Eval(gate.Op, ing), f: logic.Eval(gate.Op, inf)}
+	return g.inject(gate.Out, out)
+}
+
+// detected reports whether some primary output in some frame carries a
+// fault effect.
+func (g *Generator) detected() (int, bool) {
+	for u := 0; u < g.frames; u++ {
+		for _, id := range g.c.Outputs {
+			if g.vals[u][id].isD() {
+				return u, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// nextObjective picks the next (frame, input, value) decision via the
+// PODEM objective/backtrace split:
+//
+//  1. if the fault is not activated in any frame, the objective is to set
+//     the fault site's good value to the complement of the stuck value in
+//     the earliest frame where it is X;
+//  2. otherwise a D-frontier gate is chosen (a gate with a fault effect
+//     on an input and X on its output) and the objective is to set one of
+//     its X inputs to the non-controlling value.
+//
+// The objective is backtraced to an unassigned primary input through the
+// easiest (SCOAP-cheapest) paths, crossing flip-flops into earlier
+// frames; paths that reach the frame-0 initial state are unassignable.
+func (g *Generator) nextObjective() (frame, input int, val logic.Val, ok bool) {
+	// Activation objective.
+	site := g.flt.Node
+	activated := false
+	for u := 0; u < g.frames; u++ {
+		if g.siteActivated(u) {
+			activated = true
+			break
+		}
+	}
+	if !activated {
+		want := g.flt.Stuck.Not()
+		for u := 0; u < g.frames; u++ {
+			if g.goodValueAt(u, site) == logic.X {
+				if fr, in, v, found := g.backtrace(u, site, want); found {
+					return fr, in, v, true
+				}
+			}
+		}
+		return 0, 0, logic.X, false
+	}
+	// Propagation objective: scan D-frontier gates frame by frame.
+	for u := 0; u < g.frames; u++ {
+		for _, gi := range g.c.Order {
+			gate := &g.c.Gates[gi]
+			if g.vals[u][gate.Out].g != logic.X && g.vals[u][gate.Out].f != logic.X {
+				continue
+			}
+			hasD := false
+			for _, id := range gate.In {
+				if g.vals[u][id].isD() {
+					hasD = true
+					break
+				}
+			}
+			if !hasD {
+				continue
+			}
+			// Set an X input to the non-controlling value.
+			want := nonControlling(gate.Op)
+			for _, id := range gate.In {
+				p := g.vals[u][id]
+				if p.g == logic.X && !p.isD() {
+					if fr, in, v, found := g.backtrace(u, id, want); found {
+						return fr, in, v, true
+					}
+				}
+			}
+		}
+	}
+	// No frontier progress possible: as a last resort assign any X input
+	// anywhere (this lets free-running state settle via good values).
+	for u := 0; u < g.frames; u++ {
+		for i := range g.pi[u] {
+			if g.pi[u][i] == logic.X {
+				return u, i, logic.One, true
+			}
+		}
+	}
+	return 0, 0, logic.X, false
+}
+
+// siteActivated reports a fault effect at the fault site in frame u.
+func (g *Generator) siteActivated(u int) bool {
+	if g.flt.IsStem() {
+		return g.vals[u][g.flt.Node].isD()
+	}
+	// Branch fault: the effect exists when the stem's good value differs
+	// from the stuck value.
+	v := g.vals[u][g.flt.Node].g
+	return v.IsBinary() && v != g.flt.Stuck
+}
+
+// goodValueAt returns the good value of node id in frame u.
+func (g *Generator) goodValueAt(u int, id netlist.NodeID) logic.Val {
+	return g.vals[u][id].g
+}
+
+// nonControlling returns the value that lets a gate pass other inputs
+// through (1 for AND/NAND, 0 for OR/NOR, either for XOR — 0 chosen).
+func nonControlling(op logic.Op) logic.Val {
+	switch op {
+	case logic.And, logic.Nand:
+		return logic.One
+	case logic.Or, logic.Nor:
+		return logic.Zero
+	}
+	return logic.Zero
+}
+
+// backtrace walks the objective (node, value) in frame u backward to an
+// unassigned primary input, returning the implied PI decision.
+func (g *Generator) backtrace(u int, id netlist.NodeID, want logic.Val) (int, int, logic.Val, bool) {
+	c := g.c
+	for steps := 0; steps < c.NumNodes()*g.cfg.MaxFrames; steps++ {
+		n := &c.Nodes[id]
+		switch n.Kind {
+		case netlist.KindInput:
+			for i, in := range c.Inputs {
+				if in == id {
+					if g.pi[u][i] == logic.X {
+						return u, i, want, true
+					}
+					return 0, 0, logic.X, false // already assigned: dead objective
+				}
+			}
+			return 0, 0, logic.X, false
+		case netlist.KindState:
+			if u == 0 {
+				return 0, 0, logic.X, false // initial state is unassignable
+			}
+			id = c.FFs[n.FF].D
+			u--
+			continue
+		}
+		gate := &c.Gates[n.Driver]
+		switch gate.Op {
+		case logic.Const0, logic.Const1:
+			return 0, 0, logic.X, false
+		case logic.Buf:
+			id = gate.In[0]
+		case logic.Not:
+			id = gate.In[0]
+			want = want.Not()
+		case logic.And, logic.Nand, logic.Or, logic.Nor:
+			inv := gate.Op.Inverting()
+			w := want
+			if inv {
+				w = w.Not()
+			}
+			var ctrl logic.Val
+			if gate.Op == logic.And || gate.Op == logic.Nand {
+				ctrl = logic.Zero
+			} else {
+				ctrl = logic.One
+			}
+			if w == ctrl {
+				// One controlling input suffices: pick the cheapest X input.
+				id = g.pickInput(u, gate, ctrl, true)
+				want = ctrl
+			} else {
+				// All inputs must be non-controlling: pick the hardest X
+				// input first (classic PODEM heuristic).
+				id = g.pickInput(u, gate, ctrl.Not(), false)
+				want = ctrl.Not()
+			}
+			if id == netlist.NoNode {
+				return 0, 0, logic.X, false
+			}
+		case logic.Xor, logic.Xnor:
+			// Pick any X input and request a value; parity is fixed up by
+			// later decisions and simulation.
+			id = g.pickInput(u, gate, logic.X, true)
+			if id == netlist.NoNode {
+				return 0, 0, logic.X, false
+			}
+			// want stays: the chosen input's needed value is ambiguous for
+			// parity gates; request `want` directly as a heuristic.
+		default:
+			return 0, 0, logic.X, false
+		}
+	}
+	return 0, 0, logic.X, false
+}
+
+// pickInput selects an X-valued (good side) input of the gate; easiest
+// (cheapest SCOAP controllability for the target value) when easy is
+// true, hardest otherwise. Returns netlist.NoNode when no input is X.
+func (g *Generator) pickInput(u int, gate *netlist.Gate, target logic.Val, easy bool) netlist.NodeID {
+	best := netlist.NoNode
+	var bestCost int32
+	for _, in := range gate.In {
+		if g.vals[u][in].g != logic.X {
+			continue
+		}
+		var cost int32
+		switch target {
+		case logic.Zero:
+			cost = g.m.CC0[in]
+		case logic.One:
+			cost = g.m.CC1[in]
+		default:
+			cost = minInt32(g.m.CC0[in], g.m.CC1[in])
+		}
+		if best == netlist.NoNode || (easy && cost < bestCost) || (!easy && cost > bestCost) {
+			best = in
+			bestCost = cost
+		}
+	}
+	return best
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Summary aggregates a whole-fault-list ATPG run.
+type Summary struct {
+	Total int
+	// RandomDetected counts faults covered by the random phase.
+	RandomDetected int
+	// Generated counts faults covered by deterministic tests (including
+	// faults dropped by another target's test).
+	Generated  int
+	Aborted    int
+	Untestable int
+}
+
+// GenerateAll runs ATPG for every fault, dropping faults detected by
+// already-generated sequences (reverse fault simulation), and returns
+// the per-fault results, the concatenated test sequence, and a summary.
+func GenerateAll(c *netlist.Circuit, faults []fault.Fault, cfg Config) ([]Result, seqsim.Sequence, Summary, error) {
+	gen, err := New(c, cfg)
+	if err != nil {
+		return nil, nil, Summary{}, err
+	}
+	sim := seqsim.New(c)
+	results := make([]Result, len(faults))
+	remaining := make([]bool, len(faults))
+	for i := range remaining {
+		remaining[i] = true
+	}
+	var full seqsim.Sequence
+	summary := Summary{Total: len(faults)}
+
+	// Random phase: grade a seeded random prefix and drop what it covers.
+	if cfg.RandomPhase > 0 {
+		T := tgen.Random(c.NumInputs(), cfg.RandomPhase, cfg.RandomSeed)
+		good, err := sim.Run(T, nil, true)
+		if err != nil {
+			return nil, nil, summary, err
+		}
+		graded, err := sim.RunFaults(T, good, faults)
+		if err != nil {
+			return nil, nil, summary, err
+		}
+		hit := false
+		for k, r := range graded {
+			if r.Detected {
+				remaining[k] = false
+				results[k] = Result{Fault: faults[k], Status: Generated, Test: T}
+				summary.RandomDetected++
+				hit = true
+			}
+		}
+		if hit {
+			full = append(full, T...)
+		}
+	}
+
+	for k, f := range faults {
+		if !remaining[k] {
+			continue
+		}
+		res := gen.Generate(f)
+		results[k] = res
+		switch res.Status {
+		case Generated:
+			summary.Generated++
+			full = append(full, res.Test...)
+			// Drop other faults the new full sequence detects. Grading
+			// restarts from the all-X state, which is sound: the device is
+			// not reset between subsequences, but detection by a prefix-
+			// independent grading is only reported when guaranteed.
+			good, err := sim.Run(res.Test, nil, true)
+			if err != nil {
+				return nil, nil, summary, err
+			}
+			var pending []fault.Fault
+			var pendingIdx []int
+			for j := k + 1; j < len(faults); j++ {
+				if remaining[j] {
+					pending = append(pending, faults[j])
+					pendingIdx = append(pendingIdx, j)
+				}
+			}
+			dropped, err := sim.RunFaults(res.Test, good, pending)
+			if err != nil {
+				return nil, nil, summary, err
+			}
+			for x, r := range dropped {
+				if r.Detected {
+					remaining[pendingIdx[x]] = false
+					results[pendingIdx[x]] = Result{Fault: pending[x], Status: Generated, Test: res.Test}
+					summary.Generated++
+				}
+			}
+		case Aborted:
+			summary.Aborted++
+		case Untestable:
+			summary.Untestable++
+		}
+		remaining[k] = false
+	}
+	return results, full, summary, nil
+}

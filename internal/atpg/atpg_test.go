@@ -1,0 +1,261 @@
+package atpg
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if (Config{MaxFrames: 0, MaxBacktracks: 1}).Validate() == nil {
+		t.Error("zero frames accepted")
+	}
+	if (Config{MaxFrames: 1, MaxBacktracks: -1}).Validate() == nil {
+		t.Error("negative backtracks accepted")
+	}
+	if _, err := New(circuits.S27(), Config{}); err == nil {
+		t.Error("New accepted invalid config")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Generated.String() != "generated" || Aborted.String() != "aborted" || Untestable.String() != "untestable" {
+		t.Error("status strings wrong")
+	}
+	if Status(9).String() == "" {
+		t.Error("fallback status string empty")
+	}
+}
+
+// verifyDetects grades T against f with the conventional simulator.
+func verifyDetects(t *testing.T, c *netlist.Circuit, T seqsim.Sequence, f fault.Fault) bool {
+	t.Helper()
+	sim := seqsim.New(c)
+	good, err := sim.Run(T, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.RunFaults(T, good, []fault.Fault{f})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res[0].Detected
+}
+
+func TestGenerateCombinational(t *testing.T) {
+	c, err := bench.ParseString("comb", `
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(s)
+OUTPUT(co)
+s = XOR(a, b, cin)
+t1 = AND(a, b)
+t2 = AND(a, cin)
+t3 = AND(b, cin)
+co = OR(t1, t2, t3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := New(c, Config{MaxFrames: 1, MaxBacktracks: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	generated := 0
+	for _, f := range fault.CollapsedList(c) {
+		res := gen.Generate(f)
+		if res.Status == Generated {
+			generated++
+			if !verifyDetects(t, c, res.Test, f) {
+				t.Fatalf("generated test for %s does not detect it", f.Name(c))
+			}
+		}
+	}
+	// A full adder's collapsed faults are all combinationally testable.
+	if generated < len(fault.CollapsedList(c))*3/4 {
+		t.Errorf("only %d faults got tests", generated)
+	}
+}
+
+func TestGenerateSequential(t *testing.T) {
+	// Detection requires driving the fault effect through the flip-flop:
+	// at least two frames.
+	c, err := bench.ParseString("seq", `
+INPUT(r)
+INPUT(x)
+OUTPUT(obs)
+q = DFF(d)
+d = AND(r, t)
+t = XOR(q, x)
+obs = BUFF(q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := New(c, Config{MaxFrames: 6, MaxBacktracks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := c.NodeByName("d")
+	f := fault.Fault{Node: d, Gate: netlist.NoGate, Stuck: logic.One}
+	res := gen.Generate(f)
+	if res.Status != Generated {
+		t.Fatalf("d/SA1 not generated: %v (backtracks %d)", res.Status, res.Backtracks)
+	}
+	if len(res.Test) < 2 {
+		t.Errorf("sequential fault got a %d-frame test", len(res.Test))
+	}
+	if !verifyDetects(t, c, res.Test, f) {
+		t.Fatal("generated sequential test fails verification")
+	}
+}
+
+func TestGenerateBranchFault(t *testing.T) {
+	// The full adder has real fanout branches (a feeds s, t1 and t2);
+	// branch faults must be handled by the pair simulation and activation
+	// logic.
+	c, err := bench.ParseString("comb", `
+INPUT(a)
+INPUT(b)
+INPUT(cin)
+OUTPUT(s)
+OUTPUT(co)
+s = XOR(a, b, cin)
+t1 = AND(a, b)
+t2 = AND(a, cin)
+t3 = AND(b, cin)
+co = OR(t1, t2, t3)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := New(c, Config{MaxFrames: 1, MaxBacktracks: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tried, generated := 0, 0
+	for _, f := range fault.List(c) {
+		if f.IsStem() {
+			continue
+		}
+		tried++
+		res := gen.Generate(f)
+		if res.Status == Generated {
+			generated++
+			if !verifyDetects(t, c, res.Test, f) {
+				t.Fatalf("branch fault %s: generated test fails verification", f.Name(c))
+			}
+		}
+	}
+	if tried == 0 {
+		t.Fatal("no branch faults in the adder?")
+	}
+	if generated == 0 {
+		t.Error("no branch fault got a test")
+	}
+}
+
+func TestGenerateS27(t *testing.T) {
+	c := circuits.S27()
+	gen, err := New(c, Config{MaxFrames: 10, MaxBacktracks: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedList(c)
+	generated, aborted, untestable := 0, 0, 0
+	for _, f := range faults {
+		res := gen.Generate(f)
+		switch res.Status {
+		case Generated:
+			generated++
+			if !verifyDetects(t, c, res.Test, f) {
+				t.Fatalf("s27 test for %s fails verification", f.Name(c))
+			}
+		case Aborted:
+			aborted++
+		case Untestable:
+			untestable++
+		}
+	}
+	t.Logf("s27 ATPG: %d generated, %d aborted, %d untestable of %d",
+		generated, aborted, untestable, len(faults))
+	if generated < len(faults)/3 {
+		t.Errorf("implausibly low s27 ATPG coverage: %d/%d", generated, len(faults))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	c := circuits.S27()
+	cfg := Config{MaxFrames: 6, MaxBacktracks: 100}
+	f := fault.CollapsedList(c)[4]
+	g1, _ := New(c, cfg)
+	g2, _ := New(c, cfg)
+	r1 := g1.Generate(f)
+	r2 := g2.Generate(f)
+	if r1.Status != r2.Status || len(r1.Test) != len(r2.Test) {
+		t.Fatal("ATPG nondeterministic")
+	}
+	for u := range r1.Test {
+		if logic.FormatVals(r1.Test[u]) != logic.FormatVals(r2.Test[u]) {
+			t.Fatal("ATPG test content nondeterministic")
+		}
+	}
+}
+
+func TestGenerateAllS27(t *testing.T) {
+	c := circuits.S27()
+	faults := fault.CollapsedList(c)
+	results, full, summary, err := GenerateAll(c, faults, Config{MaxFrames: 8, MaxBacktracks: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Total != len(faults) {
+		t.Error("summary total wrong")
+	}
+	if summary.Generated == 0 {
+		t.Fatal("GenerateAll produced nothing")
+	}
+	if summary.Generated+summary.Aborted+summary.Untestable > summary.Total {
+		t.Errorf("summary inconsistent: %+v", summary)
+	}
+	if len(full) == 0 {
+		t.Fatal("empty concatenated sequence")
+	}
+	// The concatenated sequence must detect at least the faults counted
+	// as generated via their own subsequences... grading from the all-X
+	// state of the concatenation covers the directly-generated ones whose
+	// tests appear as leading subsequences; check global coverage is
+	// positive and consistent instead.
+	sim := seqsim.New(c)
+	good, err := sim.Run(full, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graded, err := sim.RunFaults(full, good, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for _, r := range graded {
+		if r.Detected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("concatenated ATPG sequence detects nothing")
+	}
+	for k, r := range results {
+		if r.Status == Generated && r.Test == nil {
+			t.Errorf("fault %d generated without a test", k)
+		}
+	}
+}

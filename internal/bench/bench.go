@@ -1,0 +1,225 @@
+// Package bench reads and writes circuits in the ISCAS-89 ".bench"
+// textual netlist format:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G5 = DFF(G10)
+//	G11 = NOR(G5, G9)
+//
+// Signal names may be referenced before definition. Gate names accepted
+// are AND, NAND, OR, NOR, NOT, BUF/BUFF, XOR, XNOR, DFF, and the
+// constants CONST0/GND and CONST1/VDD.
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// ops maps bench gate names to logic operators.
+var ops = map[string]logic.Op{
+	"AND":    logic.And,
+	"NAND":   logic.Nand,
+	"OR":     logic.Or,
+	"NOR":    logic.Nor,
+	"NOT":    logic.Not,
+	"INV":    logic.Not,
+	"BUF":    logic.Buf,
+	"BUFF":   logic.Buf,
+	"XOR":    logic.Xor,
+	"XNOR":   logic.Xnor,
+	"CONST0": logic.Const0,
+	"GND":    logic.Const0,
+	"CONST1": logic.Const1,
+	"VDD":    logic.Const1,
+}
+
+// opNames maps operators back to canonical bench names.
+var opNames = map[logic.Op]string{
+	logic.And:    "AND",
+	logic.Nand:   "NAND",
+	logic.Or:     "OR",
+	logic.Nor:    "NOR",
+	logic.Not:    "NOT",
+	logic.Buf:    "BUFF",
+	logic.Xor:    "XOR",
+	logic.Xnor:   "XNOR",
+	logic.Const0: "CONST0",
+	logic.Const1: "CONST1",
+}
+
+// ParseError reports a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("bench: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse reads a .bench netlist from r and compiles it into a circuit with
+// the given name.
+func Parse(name string, r io.Reader) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	type dff struct {
+		q, d string
+		line int
+	}
+	var dffs []dff
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(strings.ToUpper(line), "INPUT"):
+			arg, err := parseDecl(line, "INPUT")
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			b.Input(arg)
+		case strings.HasPrefix(strings.ToUpper(line), "OUTPUT"):
+			arg, err := parseDecl(line, "OUTPUT")
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			b.Output(arg)
+		default:
+			lhs, op, args, err := parseAssign(line)
+			if err != nil {
+				return nil, &ParseError{lineNo, err.Error()}
+			}
+			if op == "DFF" {
+				if len(args) != 1 {
+					return nil, &ParseError{lineNo, fmt.Sprintf("DFF takes 1 input, got %d", len(args))}
+				}
+				dffs = append(dffs, dff{q: lhs, d: args[0], line: lineNo})
+				continue
+			}
+			lop, ok := ops[op]
+			if !ok {
+				return nil, &ParseError{lineNo, fmt.Sprintf("unknown gate type %q", op)}
+			}
+			b.GateNamed(lop, lhs, args...)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	for _, f := range dffs {
+		b.FlipFlop(f.q, b.Signal(f.d))
+	}
+	return b.Build()
+}
+
+// parseDecl parses "KEYWORD(name)".
+func parseDecl(line, kw string) (string, error) {
+	rest := strings.TrimSpace(line[len(kw):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("malformed %s declaration %q", kw, line)
+	}
+	arg := strings.TrimSpace(rest[1 : len(rest)-1])
+	if arg == "" || strings.ContainsAny(arg, "(), \t") {
+		return "", fmt.Errorf("malformed %s name %q", kw, arg)
+	}
+	return arg, nil
+}
+
+// parseAssign parses "lhs = OP(a, b, ...)".
+func parseAssign(line string) (lhs, op string, args []string, err error) {
+	eq := strings.IndexByte(line, '=')
+	if eq < 0 {
+		return "", "", nil, fmt.Errorf("expected assignment, got %q", line)
+	}
+	lhs = strings.TrimSpace(line[:eq])
+	if lhs == "" || strings.ContainsAny(lhs, "(), \t") {
+		return "", "", nil, fmt.Errorf("malformed signal name %q", lhs)
+	}
+	rhs := strings.TrimSpace(line[eq+1:])
+	open := strings.IndexByte(rhs, '(')
+	if open < 0 || !strings.HasSuffix(rhs, ")") {
+		return "", "", nil, fmt.Errorf("malformed gate expression %q", rhs)
+	}
+	op = strings.ToUpper(strings.TrimSpace(rhs[:open]))
+	inner := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
+	if inner == "" {
+		if op == "CONST0" || op == "CONST1" || op == "GND" || op == "VDD" {
+			return lhs, op, nil, nil
+		}
+		return "", "", nil, fmt.Errorf("gate %q has no inputs", lhs)
+	}
+	for _, a := range strings.Split(inner, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" || strings.ContainsAny(a, "() \t") {
+			return "", "", nil, fmt.Errorf("malformed input name %q in %q", a, line)
+		}
+		args = append(args, a)
+	}
+	return lhs, op, args, nil
+}
+
+// ParseString parses a .bench netlist held in a string.
+func ParseString(name, text string) (*netlist.Circuit, error) {
+	return Parse(name, strings.NewReader(text))
+}
+
+// Write renders the circuit in .bench format. The output parses back into
+// an equivalent circuit (same nodes, gates, inputs, outputs, flip-flops).
+func Write(w io.Writer, c *netlist.Circuit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %s\n", c.Stats())
+	for _, id := range c.Inputs {
+		fmt.Fprintf(bw, "INPUT(%s)\n", c.NodeName(id))
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(bw, "OUTPUT(%s)\n", c.NodeName(id))
+	}
+	fmt.Fprintln(bw)
+	for _, ff := range c.FFs {
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", c.NodeName(ff.Q), c.NodeName(ff.D))
+	}
+	// Gates in a stable, human-friendly order: by level, then by name.
+	order := make([]netlist.GateID, len(c.Order))
+	copy(order, c.Order)
+	sort.SliceStable(order, func(i, j int) bool {
+		gi, gj := &c.Gates[order[i]], &c.Gates[order[j]]
+		if gi.Level != gj.Level {
+			return gi.Level < gj.Level
+		}
+		return c.NodeName(gi.Out) < c.NodeName(gj.Out)
+	})
+	for _, g := range order {
+		gate := &c.Gates[g]
+		names := make([]string, len(gate.In))
+		for i, in := range gate.In {
+			names[i] = c.NodeName(in)
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", c.NodeName(gate.Out), opNames[gate.Op], strings.Join(names, ", "))
+	}
+	return bw.Flush()
+}
+
+// Format renders the circuit in .bench format as a string.
+func Format(c *netlist.Circuit) string {
+	var sb strings.Builder
+	// strings.Builder never fails.
+	_ = Write(&sb, c)
+	return sb.String()
+}

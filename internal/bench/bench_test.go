@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+const toyBench = `
+# a toy circuit
+INPUT(a)
+INPUT(b)
+OUTPUT(n1)
+
+q = DFF(d)
+n1 = AND(a, q)
+d = OR(n1, b)
+`
+
+func TestParseToy(t *testing.T) {
+	c, err := ParseString("toy", toyBench)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 || c.NumFFs() != 1 || c.NumGates() != 2 {
+		t.Fatalf("wrong counts: %v", c.Stats())
+	}
+	n1, ok := c.NodeByName("n1")
+	if !ok {
+		t.Fatal("n1 missing")
+	}
+	if c.Gates[c.Nodes[n1].Driver].Op != logic.And {
+		t.Error("n1 should be AND")
+	}
+}
+
+func TestParseForwardReference(t *testing.T) {
+	// d referenced by the DFF before it is defined; n1 referenced by
+	// OUTPUT before its gate appears.
+	src := `
+OUTPUT(y)
+q = DFF(y)
+INPUT(a)
+y = NAND(a, q)
+`
+	c, err := ParseString("fwd", src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	if c.NumGates() != 1 || c.NumFFs() != 1 {
+		t.Fatal("wrong structure")
+	}
+}
+
+func TestParseAllGateTypes(t *testing.T) {
+	src := `
+INPUT(a)
+INPUT(b)
+OUTPUT(t8)
+t0 = AND(a, b)
+t1 = NAND(a, b)
+t2 = OR(a, b)
+t3 = NOR(a, b)
+t4 = XOR(a, b)
+t5 = XNOR(a, b)
+t6 = NOT(a)
+t7 = BUFF(b)
+c0 = CONST0()
+c1 = VDD()
+t8 = AND(t0, t1, t2, t3, t4, t5, t6, t7, c0, c1)
+`
+	c, err := ParseString("all", src)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	wantOps := map[string]logic.Op{
+		"t0": logic.And, "t1": logic.Nand, "t2": logic.Or, "t3": logic.Nor,
+		"t4": logic.Xor, "t5": logic.Xnor, "t6": logic.Not, "t7": logic.Buf,
+		"c0": logic.Const0, "c1": logic.Const1,
+	}
+	for name, op := range wantOps {
+		id, ok := c.NodeByName(name)
+		if !ok {
+			t.Fatalf("node %s missing", name)
+		}
+		if got := c.Gates[c.Nodes[id].Driver].Op; got != op {
+			t.Errorf("%s: op = %v, want %v", name, got, op)
+		}
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\ny = nand(a, a)\n"
+	if _, err := ParseString("ci", src); err != nil {
+		t.Fatalf("lower-case gate name rejected: %v", err)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	src := "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = BUFF(a)\n\n"
+	if _, err := ParseString("cmt", src); err != nil {
+		t.Fatalf("comments mishandled: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, frag string
+	}{
+		{"badDecl", "INPUT a\n", "malformed"},
+		{"badDeclName", "INPUT(a b)\n", "malformed"},
+		{"noAssign", "INPUT(a)\nfoo bar\n", "assignment"},
+		{"badGate", "INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n", "unknown gate"},
+		{"dffArity", "INPUT(a)\nq = DFF(a, a)\nOUTPUT(q)\n", "DFF takes 1"},
+		{"emptyInputs", "INPUT(a)\ny = AND()\nOUTPUT(y)\n", "no inputs"},
+		{"badLHS", "INPUT(a)\ny z = AND(a)\nOUTPUT(y)\n", "malformed signal"},
+		{"badArg", "INPUT(a)\ny = AND(a, )\nOUTPUT(y)\n", "malformed input"},
+		{"noParen", "INPUT(a)\ny = AND a\nOUTPUT(y)\n", "malformed gate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseString(tc.name, tc.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), tc.frag) {
+				t.Fatalf("error %q does not contain %q", err, tc.frag)
+			}
+		})
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := ParseString("ln", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n")
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+// equivalent reports whether two circuits have the same structure modulo
+// node/gate ordering.
+func equivalent(a, b *netlist.Circuit) bool {
+	if a.NumInputs() != b.NumInputs() || a.NumOutputs() != b.NumOutputs() ||
+		a.NumFFs() != b.NumFFs() || a.NumGates() != b.NumGates() {
+		return false
+	}
+	for i, id := range a.Inputs {
+		if a.NodeName(id) != b.NodeName(b.Inputs[i]) {
+			return false
+		}
+	}
+	for i, id := range a.Outputs {
+		if a.NodeName(id) != b.NodeName(b.Outputs[i]) {
+			return false
+		}
+	}
+	for i, ff := range a.FFs {
+		if a.NodeName(ff.Q) != b.NodeName(b.FFs[i].Q) || a.NodeName(ff.D) != b.NodeName(b.FFs[i].D) {
+			return false
+		}
+	}
+	for gi := range a.Gates {
+		g := &a.Gates[gi]
+		out := a.NodeName(g.Out)
+		id, ok := b.NodeByName(out)
+		if !ok || b.Nodes[id].Driver == netlist.NoGate {
+			return false
+		}
+		h := &b.Gates[b.Nodes[id].Driver]
+		if h.Op != g.Op || len(h.In) != len(g.In) {
+			return false
+		}
+		for i := range g.In {
+			if a.NodeName(g.In[i]) != b.NodeName(h.In[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	c, err := ParseString("toy", toyBench)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	text := Format(c)
+	c2, err := ParseString("toy", text)
+	if err != nil {
+		t.Fatalf("re-parse of written netlist failed: %v\n%s", err, text)
+	}
+	if !equivalent(c, c2) {
+		t.Fatalf("round trip changed circuit:\n%s", text)
+	}
+}
+
+func TestWriteConstants(t *testing.T) {
+	src := "INPUT(a)\nOUTPUT(y)\nc = CONST1()\ny = AND(a, c)\n"
+	c, err := ParseString("k", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	text := Format(c)
+	if !strings.Contains(text, "CONST1()") {
+		t.Fatalf("written netlist lacks constant: %s", text)
+	}
+	c2, err := ParseString("k", text)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if !equivalent(c, c2) {
+		t.Fatal("constant round trip changed circuit")
+	}
+}

@@ -1,0 +1,451 @@
+package circuits
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/implic"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+// faultOf builds the intro example's branch fault: input pin 0 of the
+// output AND gate stuck at 1.
+func faultOf(node netlist.NodeID, gate netlist.GateID) fault.Fault {
+	return fault.Fault{Node: node, Gate: gate, Pin: 0, Stuck: logic.One}
+}
+
+func TestS27Structure(t *testing.T) {
+	c := S27()
+	st := c.Stats()
+	if st.Inputs != 4 || st.Outputs != 1 || st.FFs != 3 || st.Gates != 10 {
+		t.Fatalf("s27 stats wrong: %v", st)
+	}
+}
+
+// figure1Frame evaluates the Figure 1 frame: pattern S27Figure1Pattern
+// with a fully unspecified state.
+func figure1Frame(t *testing.T, c *netlist.Circuit) []logic.Val {
+	t.Helper()
+	pat, err := logic.ParseVals(S27Figure1Pattern)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := []logic.Val{logic.X, logic.X, logic.X}
+	vals := make([]logic.Val, c.NumNodes())
+	seqsim.EvalFrame(c, pat, ps, nil, vals)
+	return vals
+}
+
+// TestS27Figure1 checks the defining property of Figure 1: under the
+// walkthrough pattern with unspecified state, conventional simulation
+// leaves the primary output and all three next-state variables
+// unspecified.
+func TestS27Figure1(t *testing.T) {
+	c := S27()
+	vals := figure1Frame(t, c)
+	if v := vals[c.Outputs[0]]; v != logic.X {
+		t.Errorf("primary output = %v, want x", v)
+	}
+	for i, ff := range c.FFs {
+		if v := vals[ff.D]; v != logic.X {
+			t.Errorf("next-state variable %d (%s) = %v, want x", i, c.NodeName(ff.D), v)
+		}
+	}
+}
+
+// TestS27Figure1PatternUnique verifies the input-pattern remapping claim
+// in the S27Figure1Pattern documentation: the walkthrough pattern is the
+// only input pattern with the Figure 1 property.
+func TestS27Figure1PatternUnique(t *testing.T) {
+	c := S27()
+	ps := []logic.Val{logic.X, logic.X, logic.X}
+	vals := make([]logic.Val, c.NumNodes())
+	var matches []string
+	for m := 0; m < 16; m++ {
+		pat := make([]logic.Val, 4)
+		for i := range pat {
+			pat[i] = logic.FromBool(m&(1<<uint(3-i)) != 0)
+		}
+		seqsim.EvalFrame(c, pat, ps, nil, vals)
+		allX := vals[c.Outputs[0]] == logic.X
+		for _, ff := range c.FFs {
+			allX = allX && vals[ff.D] == logic.X
+		}
+		if allX {
+			matches = append(matches, logic.FormatVals(pat))
+		}
+	}
+	if len(matches) != 1 || matches[0] != S27Figure1Pattern {
+		t.Fatalf("Figure-1 patterns = %v, want exactly [%s]", matches, S27Figure1Pattern)
+	}
+}
+
+// expansionCount performs state expansion of flip-flop ff at the Figure 1
+// frame and returns the total number of specified next-state and output
+// values across the two expanded branches (the paper's figure-of-merit in
+// Figures 2 and 3).
+func expansionCount(t *testing.T, c *netlist.Circuit, ffIdx int) int {
+	t.Helper()
+	pat, _ := logic.ParseVals(S27Figure1Pattern)
+	count := 0
+	for _, alpha := range []logic.Val{logic.Zero, logic.One} {
+		ps := []logic.Val{logic.X, logic.X, logic.X}
+		ps[ffIdx] = alpha
+		vals := make([]logic.Val, c.NumNodes())
+		seqsim.EvalFrame(c, pat, ps, nil, vals)
+		if vals[c.Outputs[0]].IsBinary() {
+			count++
+		}
+		for _, ff := range c.FFs {
+			if vals[ff.D].IsBinary() {
+				count++
+			}
+		}
+	}
+	return count
+}
+
+// TestS27Figure2 checks the specified-value counts of Figure 2: expanding
+// state variable 7 at time 0 yields five specified next-state/output
+// values, state variable 5 yields three, and state variable 6 yields none.
+func TestS27Figure2(t *testing.T) {
+	c := S27()
+	want := map[int]int{7: 5, 5: 3, 6: 0}
+	for paperLine, wantCount := range want {
+		idx, err := S27FFIndex(paperLine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := expansionCount(t, c, idx); got != wantCount {
+			t.Errorf("expansion of state variable %d: %d specified values, want %d",
+				paperLine, got, wantCount)
+		}
+	}
+	if _, err := S27FFIndex(4); err == nil {
+		t.Error("S27FFIndex(4) should fail")
+	}
+}
+
+// TestS27Figure3 checks Figure 3: backward implication of state variable 6
+// at time 1 (assert its next-state variable at time 0) yields a total of
+// seven specified next-state/output values at time 0 across the two
+// branches, with the primary output and one next-state variable fully
+// specified and another partially specified.
+func TestS27Figure3(t *testing.T) {
+	c := S27()
+	idx, _ := S27FFIndex(6)
+	base := figure1Frame(t, c)
+	perBranch := map[logic.Val][]logic.Val{}
+	total := 0
+	for _, alpha := range []logic.Val{logic.Zero, logic.One} {
+		fr := implic.New(c, nil, base)
+		if !fr.AssignNextState(idx, alpha) || !fr.ImplyTwoPass() {
+			t.Fatalf("unexpected conflict for alpha=%v", alpha)
+		}
+		vals := []logic.Val{fr.Output(0)}
+		for i := range c.FFs {
+			vals = append(vals, fr.NextState(i))
+		}
+		perBranch[alpha] = vals
+		total += logic.CountBinary(vals)
+	}
+	if total != 7 {
+		t.Fatalf("backward implication of state variable 6 at time 1: %d specified values, want 7\n0-branch: %v\n1-branch: %v",
+			total, perBranch[logic.Zero], perBranch[logic.One])
+	}
+	// "The primary output ... become(s) fully specified": binary in both
+	// branches.
+	if !perBranch[logic.Zero][0].IsBinary() || !perBranch[logic.One][0].IsBinary() {
+		t.Error("primary output should be specified in both branches")
+	}
+	// Exactly one next-state variable fully specified (both branches) and
+	// one partially specified (one branch), besides the asserted one.
+	full, partial := 0, 0
+	for i := 1; i <= 3; i++ {
+		z := perBranch[logic.Zero][i].IsBinary()
+		o := perBranch[logic.One][i].IsBinary()
+		switch {
+		case z && o:
+			full++
+		case z || o:
+			partial++
+		}
+	}
+	// The asserted next-state variable itself is fully specified, plus the
+	// paper's "next-state variable 25": 2 fully, 1 partially.
+	if full != 2 || partial != 1 {
+		t.Errorf("next-state specification pattern: %d full, %d partial; want 2 full, 1 partial", full, partial)
+	}
+}
+
+// TestS27BackwardBeatsForwardExpansion reproduces the paper's headline
+// comparison for the walkthrough: backward implication of state variable 6
+// at time 1 (7 values) beats the best time-0 expansion (5 values).
+func TestS27BackwardBeatsForwardExpansion(t *testing.T) {
+	c := S27()
+	best := 0
+	for _, line := range []int{5, 6, 7} {
+		idx, _ := S27FFIndex(line)
+		if n := expansionCount(t, c, idx); n > best {
+			best = n
+		}
+	}
+	if best != 5 {
+		t.Fatalf("best time-0 expansion = %d specified values, want 5", best)
+	}
+}
+
+// TestFig4Conflict checks the Figure 4 behaviour: with input 0, asserting
+// the next-state variable to 1 produces a conflict (so the present-state
+// variable at time 1 can only be 0), while asserting 0 is consistent.
+func TestFig4Conflict(t *testing.T) {
+	c := Fig4()
+	pat, _ := logic.ParseVals("0")
+	ps := []logic.Val{logic.X}
+	base := make([]logic.Val, c.NumNodes())
+	seqsim.EvalFrame(c, pat, ps, nil, base)
+
+	// "Setting line 1 to 0 implies only that lines 3 and 4 are set to 0."
+	l3, _ := c.NodeByName("L3")
+	l4, _ := c.NodeByName("L4")
+	if base[l3] != logic.Zero || base[l4] != logic.Zero {
+		t.Fatalf("L3=%v L4=%v, want 0 0", base[l3], base[l4])
+	}
+	specified := 0
+	for n, v := range base {
+		if c.Nodes[n].Kind == netlist.KindGate && v.IsBinary() {
+			specified++
+		}
+	}
+	if specified != 2 {
+		t.Errorf("%d specified gate values, want exactly 2 (lines 3 and 4)", specified)
+	}
+
+	one := implic.New(c, nil, base)
+	if one.AssignNextState(0, logic.One) && one.ImplyTwoPass() {
+		t.Fatal("asserting next state 1 should conflict")
+	}
+	zero := implic.New(c, nil, base)
+	if !(zero.AssignNextState(0, logic.Zero) && zero.ImplyTwoPass()) {
+		t.Fatal("asserting next state 0 should be consistent")
+	}
+}
+
+// TestIntroExample checks the introduction scenario: fault-free output is
+// the constant 0 under a=0, while the faulty output under the branch
+// fault a->o stuck-at-1 is x conventionally but differs from 0 for every
+// binary initial state.
+func TestIntroExample(t *testing.T) {
+	c := Intro()
+	s := seqsim.New(c)
+	T, err := seqsim.ParseSequence([]string{"0", "0", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := s.FaultFree(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := range T {
+		if good.Outputs[u][0] != logic.Zero {
+			t.Fatalf("fault-free output at %d = %v, want 0", u, good.Outputs[u][0])
+		}
+	}
+	// The faulty machine output is x under conventional simulation.
+	node, gate := IntroFault(c)
+	f := faultOf(node, gate)
+	bad, err := s.Run(T, &f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := seqsim.FirstDetection(good, bad); ok {
+		t.Fatal("conventional simulation should not detect the intro fault")
+	}
+	for u := range T {
+		if bad.Outputs[u][0] != logic.X {
+			t.Fatalf("faulty output at %d = %v, want x", u, bad.Outputs[u][0])
+		}
+	}
+	// Every binary initial state yields a detection at some time unit.
+	for _, init := range []logic.Val{logic.Zero, logic.One} {
+		st := []logic.Val{init}
+		vals := make([]logic.Val, c.NumNodes())
+		detected := false
+		for u := range T {
+			seqsim.EvalFrame(c, T[u], st, &f, vals)
+			if vals[c.Outputs[0]].IsBinary() && vals[c.Outputs[0]] != logic.Zero {
+				detected = true
+			}
+			st = []logic.Val{vals[c.FFs[0].D]}
+		}
+		if !detected {
+			t.Errorf("initial state %v does not lead to detection", init)
+		}
+	}
+}
+
+func TestTable1CircuitBuilds(t *testing.T) {
+	c := Table1()
+	if c.NumFFs() != 2 || c.NumOutputs() != 2 {
+		t.Fatal("table1 circuit has wrong shape")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []GenParams{
+		{Name: "noIn", Inputs: 0, Outputs: 1, Gates: 5},
+		{Name: "noOut", Inputs: 1, Outputs: 0, Gates: 5},
+		{Name: "badFF", Inputs: 1, Outputs: 1, FFs: 2, FreeFFs: 3, Gates: 10},
+		{Name: "small", Inputs: 1, Outputs: 4, FFs: 4, FreeFFs: 0, Gates: 5},
+	}
+	for _, p := range bad {
+		if _, err := Generate(p); err == nil {
+			t.Errorf("Generate(%s) should fail", p.Name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := GenParams{Name: "det", Inputs: 5, Outputs: 3, FFs: 6, FreeFFs: 1, Gates: 50, Seed: 42}
+	a := MustGenerate(p)
+	b := MustGenerate(p)
+	if a.NumGates() != b.NumGates() || a.NumNodes() != b.NumNodes() {
+		t.Fatal("generator nondeterministic in size")
+	}
+	for gi := range a.Gates {
+		if a.Gates[gi].Op != b.Gates[gi].Op || len(a.Gates[gi].In) != len(b.Gates[gi].In) {
+			t.Fatal("generator nondeterministic in structure")
+		}
+	}
+}
+
+func TestGenerateShape(t *testing.T) {
+	p := GenParams{Name: "shape", Inputs: 7, Outputs: 4, FFs: 9, FreeFFs: 2, Gates: 80, Seed: 9}
+	c := MustGenerate(p)
+	st := c.Stats()
+	if st.Inputs != 7 || st.Outputs != 4 || st.FFs != 9 {
+		t.Fatalf("generated shape wrong: %v", st)
+	}
+	// FreeFFs parity gates are added on top of the cloud gates.
+	if st.Gates != 80+2 {
+		t.Fatalf("gates = %d, want 82", st.Gates)
+	}
+	if st.Levels < 3 {
+		t.Errorf("levels = %d; cloud should have depth", st.Levels)
+	}
+}
+
+// TestGenerateFreeFFsStayUnknown checks the defining property of free
+// flip-flops: they never initialize under three-valued simulation.
+func TestGenerateFreeFFsStayUnknown(t *testing.T) {
+	p := GenParams{Name: "free", Inputs: 4, Outputs: 2, FFs: 6, FreeFFs: 3, Gates: 40, Seed: 17}
+	c := MustGenerate(p)
+	s := seqsim.New(c)
+	T := randomSeq(c.NumInputs(), 30, 99)
+	tr, err := s.FaultFree(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u, st := range tr.States {
+		for k := 0; k < p.FreeFFs; k++ {
+			if st[k] != logic.X {
+				t.Fatalf("free FF %d specified at time %d", k, u)
+			}
+		}
+	}
+}
+
+// TestGenerateSyncFFsInitialize checks that most non-free flip-flops do
+// initialize under a random sequence (the generator's other promise).
+func TestGenerateSyncFFsInitialize(t *testing.T) {
+	p := GenParams{Name: "sync", Inputs: 6, Outputs: 3, FFs: 10, FreeFFs: 2, Gates: 90, Seed: 23}
+	c := MustGenerate(p)
+	s := seqsim.New(c)
+	T := randomSeq(c.NumInputs(), 60, 5)
+	tr, err := s.FaultFree(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := tr.States[len(tr.States)-1]
+	specified := 0
+	for k := p.FreeFFs; k < p.FFs; k++ {
+		if final[k].IsBinary() {
+			specified++
+		}
+	}
+	if specified < (p.FFs-p.FreeFFs)/2 {
+		t.Errorf("only %d of %d sync FFs initialized", specified, p.FFs-p.FreeFFs)
+	}
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 13 {
+		t.Fatalf("suite has %d entries, want 13", len(suite))
+	}
+	for _, e := range suite {
+		if err := e.Params.Validate(); err != nil {
+			t.Errorf("suite entry %s invalid: %v", e.Name, err)
+		}
+		if e.Paper.ProposedTotal < e.Paper.Conventional {
+			t.Errorf("suite entry %s paper numbers inconsistent", e.Name)
+		}
+	}
+	if _, err := SuiteEntryByName("s5378"); err != nil {
+		t.Error("lookup by paper name failed")
+	}
+	if _, err := SuiteEntryByName("sg208"); err != nil {
+		t.Error("lookup by suite name failed")
+	}
+	if _, err := SuiteEntryByName("nope"); err == nil {
+		t.Error("lookup of unknown name should fail")
+	}
+}
+
+func TestSuiteSmallEntriesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("circuit generation in -short mode")
+	}
+	for _, e := range Suite()[:6] {
+		c := e.Build()
+		st := c.Stats()
+		if st.FFs != e.Params.FFs || st.Inputs != e.Params.Inputs {
+			t.Errorf("%s: built shape %v does not match params", e.Name, st)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"s27", "fig4", "intro", "table1", "sg208"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%s): %v", name, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) should fail")
+	}
+	if len(Names()) != 4+13 {
+		t.Errorf("Names() = %d entries, want 17", len(Names()))
+	}
+}
+
+// randomSeq builds a deterministic pseudo-random binary sequence without
+// importing math/rand (a tiny LCG keeps the test hermetic).
+func randomSeq(width, length int, seed uint32) seqsim.Sequence {
+	state := seed*2654435761 + 1
+	next := func() uint32 {
+		state = state*1664525 + 1013904223
+		return state >> 16
+	}
+	T := make(seqsim.Sequence, length)
+	for u := range T {
+		p := make(seqsim.Pattern, width)
+		for i := range p {
+			p[i] = logic.FromBool(next()&1 == 1)
+		}
+		T[u] = p
+	}
+	return T
+}

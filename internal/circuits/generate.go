@@ -1,0 +1,327 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// GenParams parameterizes the synthetic ISCAS-like circuit generator.
+//
+// The generator builds a random Huffman machine: a combinational cloud of
+// AND/OR family gates (with a sprinkling of inverters and parity gates)
+// over the primary inputs and flip-flop outputs, with flip-flop D inputs
+// and primary outputs drawn from the cloud.
+//
+// FreeFFs flip-flops are wired into a pure parity feedback subnet
+// (toggle/XOR rings). Three-valued simulation can never resolve such
+// state variables from the all-X initial state, while state expansion
+// resolves them immediately — the structural source of the pessimism the
+// multiple observation time approach removes. The remaining flip-flops
+// synchronize with high probability under random input sequences, and
+// faults in their synchronizing logic yield faulty machines that fail to
+// initialize — the main source of MOT-only detections in the paper's
+// benchmarks.
+type GenParams struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	FFs     int
+	// FreeFFs is the number of flip-flops (out of FFs) wired into parity
+	// feedback subnets that never initialize under three-valued
+	// simulation. Must be less than or equal to FFs.
+	FreeFFs int
+	Gates   int
+	Seed    int64
+}
+
+// Validate checks the parameters for consistency.
+func (p GenParams) Validate() error {
+	switch {
+	case p.Inputs < 1:
+		return fmt.Errorf("circuits: %s: need at least one input", p.Name)
+	case p.Outputs < 1:
+		return fmt.Errorf("circuits: %s: need at least one output", p.Name)
+	case p.FFs < 0 || p.FreeFFs < 0 || p.FreeFFs > p.FFs:
+		return fmt.Errorf("circuits: %s: invalid flip-flop counts %d/%d", p.Name, p.FreeFFs, p.FFs)
+	case p.Gates < p.FFs-p.FreeFFs+p.Outputs:
+		return fmt.Errorf("circuits: %s: need at least %d gates for flip-flop inputs and outputs",
+			p.Name, p.FFs-p.FreeFFs+p.Outputs)
+	}
+	return nil
+}
+
+// opWeights biases gate selection toward the AND/OR family, matching the
+// gate mix of the ISCAS-89 benchmarks.
+var opWeights = []struct {
+	op logic.Op
+	w  int
+}{
+	{logic.And, 22},
+	{logic.Nand, 22},
+	{logic.Or, 22},
+	{logic.Nor, 22},
+	{logic.Not, 6},
+	{logic.Buf, 2},
+	{logic.Xor, 2},
+	{logic.Xnor, 2},
+}
+
+func pickOp(rng *rand.Rand) logic.Op {
+	total := 0
+	for _, e := range opWeights {
+		total += e.w
+	}
+	r := rng.Intn(total)
+	for _, e := range opWeights {
+		if r < e.w {
+			return e.op
+		}
+		r -= e.w
+	}
+	return logic.And
+}
+
+// Generate builds a synthetic circuit from the parameters. Generation is
+// fully deterministic in p (including p.Seed).
+func Generate(p GenParams) (*netlist.Circuit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	b := netlist.NewBuilder(p.Name)
+
+	// Primary inputs.
+	pool := make([]netlist.NodeID, 0, p.Inputs+p.FFs+p.Gates)
+	for i := 0; i < p.Inputs; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i)))
+	}
+
+	// Flip-flops. Free flip-flops (the first FreeFFs) get parity feedback;
+	// their Q nodes are kept out of the general pool so their unknowns
+	// poison only a few, deliberately chosen places.
+	var freeQ, syncQ []netlist.NodeID
+	for k := 0; k < p.FFs; k++ {
+		q := b.FlipFlop(fmt.Sprintf("q%d", k), b.Signal(fmt.Sprintf("d%d", k)))
+		if k < p.FreeFFs {
+			freeQ = append(freeQ, q)
+		} else {
+			syncQ = append(syncQ, q)
+			pool = append(pool, q)
+		}
+	}
+	// Parity feedback for free flip-flops: d_k = NOT(q_k) for a lone free
+	// flip-flop, else XOR/XNOR rings.
+	for k := 0; k < p.FreeFFs; k++ {
+		name := fmt.Sprintf("d%d", k)
+		if p.FreeFFs == 1 {
+			b.Gate(logic.Not, name, freeQ[0])
+			continue
+		}
+		op := logic.Xor
+		if k%2 == 1 {
+			op = logic.Xnor
+		}
+		b.Gate(op, name, freeQ[k], freeQ[(k+1)%p.FreeFFs])
+	}
+
+	// Sink-first input selection: tracking unconsumed signals and
+	// preferring them as gate inputs keeps nearly every gate on a path to
+	// a primary output or flip-flop input. Without it a random DAG leaves
+	// large dead regions whose faults are structurally undetectable,
+	// which no real benchmark exhibits.
+	fanout := map[netlist.NodeID]int{}
+	sinks := make([]netlist.NodeID, len(pool))
+	copy(sinks, pool)
+	pickSink := func() (netlist.NodeID, bool) {
+		for len(sinks) > 0 {
+			i := rng.Intn(len(sinks))
+			n := sinks[i]
+			if fanout[n] == 0 {
+				return n, true
+			}
+			sinks[i] = sinks[len(sinks)-1]
+			sinks = sinks[:len(sinks)-1]
+		}
+		return 0, false
+	}
+	// pick selects a gate input: half the time an unconsumed signal, else
+	// a recent node (locality gives the cloud depth), else any node.
+	pick := func() netlist.NodeID {
+		n := len(pool)
+		if n == 1 {
+			return pool[0]
+		}
+		switch r := rng.Intn(10); {
+		case r < 5:
+			if s, ok := pickSink(); ok {
+				return s
+			}
+			fallthrough
+		case r < 8:
+			window := 40
+			if window > n {
+				window = n
+			}
+			return pool[n-1-rng.Intn(window)]
+		default:
+			return pool[rng.Intn(n)]
+		}
+	}
+
+	// Decide which cloud gate positions become flip-flop D inputs and
+	// which become primary outputs. D inputs and outputs are drawn from
+	// the last 60% of the cloud so they depend on deep logic.
+	nSync := p.FFs - p.FreeFFs
+	special := map[int]string{}
+	lo := p.Gates * 2 / 5
+	span := p.Gates - lo
+	if span < nSync+p.Outputs {
+		lo = 0
+		span = p.Gates
+	}
+	perm := rng.Perm(span)
+	for k := 0; k < nSync; k++ {
+		special[lo+perm[k]] = fmt.Sprintf("d%d", p.FreeFFs+k)
+	}
+	outIdx := make([]int, p.Outputs)
+	for j := 0; j < p.Outputs; j++ {
+		outIdx[j] = lo + perm[nSync+j]
+	}
+
+	// Weave each free flip-flop's Q into a couple of cloud gates so its
+	// unknown value can reach outputs when (and only when) the masking
+	// logic lets it through.
+	freeUse := map[int][]netlist.NodeID{}
+	for _, q := range freeQ {
+		for n := 0; n < 2; n++ {
+			freeUse[rng.Intn(p.Gates)] = append(freeUse[rng.Intn(p.Gates)], q)
+		}
+	}
+
+	isOutput := map[int]bool{}
+	for _, idx := range outIdx {
+		isOutput[idx] = true
+	}
+	// taint marks signals structurally downstream of a free flip-flop
+	// within the current frame; such signals may carry X forever in the
+	// fault-free machine. Output cones avoid them so the fault-free
+	// response stays specified — the precondition for MOT detections
+	// (N_out counts outputs specified fault-free but unspecified faulty).
+	taint := map[netlist.NodeID]bool{}
+	for _, q := range freeQ {
+		taint[q] = true
+	}
+	// pickClean samples an untainted pool signal, falling back to any
+	// signal after a bounded number of attempts.
+	pickClean := func() netlist.NodeID {
+		for attempt := 0; attempt < 8; attempt++ {
+			n := pool[rng.Intn(len(pool))]
+			if !taint[n] {
+				return n
+			}
+		}
+		return pool[rng.Intn(len(pool))]
+	}
+	// pickOutputOp biases primary-output cones toward observable
+	// functions (parity and OR mixes), mirroring the designed output
+	// logic of real benchmarks; a pure random AND/OR cloud loses
+	// observability exponentially with depth.
+	pickOutputOp := func() logic.Op {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3:
+			return logic.Xor
+		case 4, 5:
+			return logic.Or
+		case 6, 7:
+			return logic.Nand
+		default:
+			return logic.Nor
+		}
+	}
+	names := make([]string, p.Gates)
+	for i := 0; i < p.Gates; i++ {
+		op := pickOp(rng)
+		_, isSyncD := special[i]
+		if isOutput[i] {
+			op = pickOutputOp()
+		}
+		if isSyncD {
+			// Flip-flop D gates get a controlling-capable function with a
+			// direct primary-input operand — the reset/load structure real
+			// sequential benchmarks have. Random patterns then initialize
+			// the flip-flop within a few frames, while a fault in this
+			// logic can block initialization (the main source of MOT-only
+			// detections in the paper's benchmarks).
+			if rng.Intn(2) == 0 {
+				op = logic.And
+			} else {
+				op = logic.Nor
+			}
+		}
+		extra := freeUse[i]
+		if len(extra) > 0 && (op == logic.Not || op == logic.Buf) {
+			op = logic.And // give the free-Q value a masking companion
+		}
+		var fanin int
+		switch {
+		case op == logic.Not || op == logic.Buf:
+			fanin = 1
+		case rng.Intn(4) == 0:
+			fanin = 3
+		default:
+			fanin = 2
+		}
+		ins := make([]netlist.NodeID, 0, fanin+len(extra))
+		ins = append(ins, extra...)
+		if isSyncD {
+			ins = append(ins, pool[rng.Intn(p.Inputs)])
+			if fanin < 2 {
+				fanin = 2
+			}
+		}
+		for len(ins) < fanin {
+			if isOutput[i] {
+				// Output cones sample untainted signals from the whole
+				// cloud for observability.
+				ins = append(ins, pickClean())
+			} else {
+				ins = append(ins, pick())
+			}
+		}
+		name, ok := special[i]
+		if !ok {
+			name = fmt.Sprintf("g%d", i)
+		}
+		names[i] = name
+		out := b.Gate(op, name, ins...)
+		for _, in := range ins {
+			fanout[in]++
+			if taint[in] {
+				taint[out] = true
+			}
+		}
+		if !ok && !isOutput[i] {
+			// Non-special gates start unconsumed; flip-flop D gates and
+			// output gates are consumed by their roles.
+			sinks = append(sinks, out)
+		}
+		pool = append(pool, out)
+	}
+	for _, idx := range outIdx {
+		b.Output(names[idx])
+	}
+	return b.Build()
+}
+
+// MustGenerate is Generate for known-good parameters (the built-in suite);
+// it panics on error.
+func MustGenerate(p GenParams) *netlist.Circuit {
+	c, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

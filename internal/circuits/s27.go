@@ -1,0 +1,166 @@
+// Package circuits provides the benchmark circuits used by the
+// reproduction: the real ISCAS-89 s27 (given in full in Figure 1 of the
+// paper), reconstructions of the paper's illustrative circuits, and a
+// seeded generator of ISCAS-like synthetic circuits standing in for the
+// benchmark netlists that are not redistributable here (see DESIGN.md §4).
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+)
+
+// S27Bench is the ISCAS-89 s27 netlist: 4 primary inputs, 1 primary
+// output, 3 flip-flops, 10 gates.
+const S27Bench = `
+# ISCAS-89 s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+`
+
+// S27 returns the compiled s27 circuit.
+func S27() *netlist.Circuit {
+	return mustParse("s27", S27Bench)
+}
+
+// S27Figure1Pattern is the input pattern used in the paper's Figures 1-3
+// walkthrough, expressed over the standard s27 input order (G0 G1 G2 G3).
+//
+// The paper writes the pattern as "(1001)" in its own internal line
+// numbering of an expanded netlist. On the standard s27 netlist, the
+// unique input pattern under which — with a fully unspecified state — the
+// primary output and all three next-state variables are unspecified
+// (Figure 1's defining property) is G0=1 G1=0 G2=1 G3=1. All Figure 2 and
+// Figure 3 specified-value counts are reproduced exactly under this
+// pattern; see the circuits package tests.
+const S27Figure1Pattern = "1011"
+
+// S27FFIndex maps the paper's figure terminology to flip-flop indices in
+// the compiled s27: "state variable 5" is G5 (index 0), "state variable 6"
+// is G6 (index 1), and "state variable 7" is G7 (index 2).
+func S27FFIndex(paperLine int) (int, error) {
+	switch paperLine {
+	case 5:
+		return 0, nil
+	case 6:
+		return 1, nil
+	case 7:
+		return 2, nil
+	}
+	return 0, fmt.Errorf("circuits: s27 has no state variable named line %d", paperLine)
+}
+
+// mustParse compiles an embedded netlist; the sources are compile-time
+// constants validated by tests, so failure is a programming error.
+func mustParse(name, src string) *netlist.Circuit {
+	c, err := bench.ParseString(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("circuits: embedded netlist %s: %v", name, err))
+	}
+	return c
+}
+
+// Fig4Bench reconstructs the circuit of Figure 4 (the backward-implication
+// conflict example). The paper's figure gives line numbers 1 (the primary
+// input), 2 (the present-state variable), 3 and 4 (AND gates forced to 0
+// by input 0), 5 and 6 (OR gates), and 11 (the next-state variable, with
+// an inverter in between); the reconstruction preserves the published
+// behaviour exactly:
+//
+//   - applying input 0 sets only lines 3 and 4 to 0;
+//   - asserting line 11 = 1 forces line 5 = 1 and line 6 = 0, which imply
+//     the two opposite values on line 2 — a conflict;
+//   - asserting line 11 = 0 implies nothing, so after expansion of the
+//     present-state variable at time 1 only the single state 0 remains.
+const Fig4Bench = `
+# Reconstruction of DAC'97 Figure 4
+INPUT(L1)
+OUTPUT(L9)
+
+L2 = DFF(L11)
+
+L8 = NOT(L2)
+L3 = AND(L1, L2)
+L4 = AND(L1, L8)
+L5 = OR(L3, L2)
+L6 = OR(L4, L2)
+L9 = NOT(L6)
+L11 = AND(L5, L9)
+`
+
+// Fig4 returns the compiled Figure 4 circuit.
+func Fig4() *netlist.Circuit {
+	return mustParse("fig4", Fig4Bench)
+}
+
+// IntroBench is a minimal circuit realizing the paper's introductory
+// example of the multiple observation time approach: with a held at 0 the
+// fault-free output is a constant 0, while under the branch fault
+// a->o stuck-at-1 the faulty output equals the free-running toggle q —
+// (010...) or (101...) depending on the unknown initial state. Conventional
+// three-valued simulation sees only x on the faulty output; the restricted
+// MOT approach detects the fault for every initial state.
+const IntroBench = `
+# MOT introduction example
+INPUT(a)
+OUTPUT(o)
+q = DFF(d)
+d = NOT(q)
+o = AND(a, q)
+`
+
+// Intro returns the compiled introduction-example circuit.
+func Intro() *netlist.Circuit {
+	return mustParse("intro", IntroBench)
+}
+
+// IntroFault returns the branch fault a->o stuck-at-1 used by the
+// introduction example.
+func IntroFault(c *netlist.Circuit) (netlist.NodeID, netlist.GateID) {
+	a, _ := c.NodeByName("a")
+	o, _ := c.NodeByName("o")
+	return a, c.Nodes[o].Driver
+}
+
+// Table1Bench is a two-flip-flop, two-output circuit used to demonstrate
+// the state-expansion mechanics of Table 1: under the stem fault a
+// stuck-at-1 with a held at 0, both outputs observe the free-running state
+// variables, producing an unspecified conventional response that state
+// expansion resolves branch by branch.
+const Table1Bench = `
+# Table 1 style expansion demo
+INPUT(a)
+OUTPUT(o1)
+OUTPUT(o2)
+q1 = DFF(d1)
+q2 = DFF(d2)
+d1 = NOT(q1)
+d2 = XOR(q1, q2)
+o1 = AND(a, q1)
+o2 = AND(a, q2)
+`
+
+// Table1 returns the compiled Table-1 demo circuit.
+func Table1() *netlist.Circuit {
+	return mustParse("table1", Table1Bench)
+}

@@ -1,0 +1,178 @@
+package circuits
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// PaperRow holds the numbers the paper reports for one circuit in
+// Table 2 (fault counts) and Table 3 (backward-implication counters), for
+// paper-vs-measured reporting. Extra* values of -1 mean "NA" (the [4]
+// procedure could not be applied to the circuit).
+type PaperRow struct {
+	TotalFaults   int
+	Conventional  int
+	BaselineTotal int // procedure of [4]; -1 for NA
+	BaselineExtra int // -1 for NA
+	ProposedTotal int
+	ProposedExtra int
+	// Table 3 averages over faults detected by the proposed method.
+	AvgDetect float64
+	AvgConf   float64
+	AvgExtra  float64
+}
+
+// SuiteEntry describes one synthetic stand-in circuit for a benchmark the
+// paper evaluates (DESIGN.md §4 documents the substitution).
+type SuiteEntry struct {
+	// Name is the suite circuit name ("sg" + the paper's circuit name).
+	Name string
+	// PaperName is the circuit the entry stands in for.
+	PaperName string
+	Params    GenParams
+	// SeqLen is the random test-sequence length used for the Table 2
+	// experiment.
+	SeqLen int
+	// SeqSeed seeds the random test sequence.
+	SeqSeed int64
+	// Paper holds the published results for the original circuit.
+	Paper PaperRow
+	// Scaled reports that the synthetic circuit is smaller than the
+	// original (the largest benchmarks are scaled to laptop runtime).
+	Scaled bool
+}
+
+// Suite returns the thirteen-entry synthetic benchmark suite mirroring
+// Table 2 of the paper. Entries are ordered as in the paper.
+func Suite() []SuiteEntry {
+	return []SuiteEntry{
+		{
+			Name: "sg208", PaperName: "s208",
+			Params: GenParams{Name: "sg208", Inputs: 10, Outputs: 1, FFs: 8, FreeFFs: 2, Gates: 96, Seed: 115},
+			SeqLen: 64, SeqSeed: 1208,
+			Paper: PaperRow{215, 73, 86, 13, 86, 13, 19.54, 12.00, 54.54},
+		},
+		{
+			Name: "sg298", PaperName: "s298",
+			Params: GenParams{Name: "sg298", Inputs: 3, Outputs: 6, FFs: 14, FreeFFs: 2, Gates: 119, Seed: 2985},
+			SeqLen: 64, SeqSeed: 1298,
+			Paper: PaperRow{308, 143, 150, 7, 150, 7, 6.71, 36.57, 60.71},
+		},
+		{
+			Name: "sg344", PaperName: "s344",
+			Params: GenParams{Name: "sg344", Inputs: 9, Outputs: 11, FFs: 15, FreeFFs: 2, Gates: 160, Seed: 3441},
+			SeqLen: 64, SeqSeed: 1344,
+			Paper: PaperRow{342, 314, 320, 6, 320, 6, 281.67, 0.00, 304.33},
+		},
+		{
+			Name: "sg420", PaperName: "s420",
+			Params: GenParams{Name: "sg420", Inputs: 18, Outputs: 1, FFs: 16, FreeFFs: 3, Gates: 196, Seed: 203},
+			SeqLen: 64, SeqSeed: 1420,
+			Paper: PaperRow{430, 125, 150, 25, 150, 25, 24.88, 7.60, 57.60},
+		},
+		{
+			Name: "sg641", PaperName: "s641",
+			Params: GenParams{Name: "sg641", Inputs: 35, Outputs: 24, FFs: 19, FreeFFs: 2, Gates: 379, Seed: 6413},
+			SeqLen: 64, SeqSeed: 1641,
+			Paper: PaperRow{467, 343, 347, 4, 347, 4, 234.25, 0.00, 400.75},
+		},
+		{
+			Name: "sg713", PaperName: "s713",
+			Params: GenParams{Name: "sg713", Inputs: 35, Outputs: 23, FFs: 19, FreeFFs: 2, Gates: 393, Seed: 7133},
+			SeqLen: 64, SeqSeed: 1713,
+			Paper: PaperRow{581, 415, 419, 4, 419, 4, 178.75, 0.00, 219.75},
+		},
+		{
+			Name: "sg1423", PaperName: "s1423",
+			Params: GenParams{Name: "sg1423", Inputs: 17, Outputs: 5, FFs: 74, FreeFFs: 3, Gates: 657, Seed: 1421},
+			SeqLen: 64, SeqSeed: 11423,
+			Paper: PaperRow{1515, 331, 338, 7, 338, 7, 10.29, 91.71, 195.71},
+		},
+		{
+			Name: "sg5378", PaperName: "s5378",
+			Params: GenParams{Name: "sg5378", Inputs: 35, Outputs: 49, FFs: 164, FreeFFs: 4, Gates: 2779, Seed: 5381},
+			SeqLen: 64, SeqSeed: 15378,
+			Paper: PaperRow{4603, 2352, 2352, 0, 2363, 11, 616.18, 142.00, 1082.27},
+		},
+		{
+			Name: "sg15850", PaperName: "s15850",
+			Params: GenParams{Name: "sg15850", Inputs: 77, Outputs: 150, FFs: 280, FreeFFs: 4, Gates: 4200, Seed: 15850},
+			SeqLen: 48, SeqSeed: 115850,
+			Paper:  PaperRow{11725, 85, -1, -1, 87, 2, 114.00, 89.00, 264.50},
+			Scaled: true,
+		},
+		{
+			Name: "sg35932", PaperName: "s35932",
+			Params: GenParams{Name: "sg35932", Inputs: 35, Outputs: 320, FFs: 400, FreeFFs: 4, Gates: 5600, Seed: 35932},
+			SeqLen: 48, SeqSeed: 135932,
+			Paper:  PaperRow{39094, 22357, -1, -1, 22367, 10, 5958.00, 0.00, 6711.60},
+			Scaled: true,
+		},
+		{
+			Name: "sgam2910", PaperName: "am2910",
+			Params: GenParams{Name: "sgam2910", Inputs: 20, Outputs: 16, FFs: 87, FreeFFs: 3, Gates: 1200, Seed: 2911},
+			SeqLen: 64, SeqSeed: 12910,
+			Paper:  PaperRow{2573, 1234, 1259, 25, 1272, 38, 225.79, 8.53, 331.29},
+			Scaled: true,
+		},
+		{
+			Name: "sgmp1_16", PaperName: "mp1_16",
+			Params: GenParams{Name: "sgmp1_16", Inputs: 18, Outputs: 9, FFs: 32, FreeFFs: 2, Gates: 700, Seed: 116},
+			SeqLen: 64, SeqSeed: 1116,
+			Paper: PaperRow{1708, 1259, 1278, 19, 1280, 21, 2038.57, 25.38, 2096.05},
+		},
+		{
+			Name: "sgmp2", PaperName: "mp2",
+			Params: GenParams{Name: "sgmp2", Inputs: 32, Outputs: 16, FFs: 60, FreeFFs: 3, Gates: 1800, Seed: 1002},
+			SeqLen: 64, SeqSeed: 11002,
+			Paper:  PaperRow{10477, 666, 670, 4, 676, 10, 2996.50, 50.10, 3449.00},
+			Scaled: true,
+		},
+	}
+}
+
+// SuiteEntryByName looks up a suite entry by its name or by the paper
+// circuit name it stands in for.
+func SuiteEntryByName(name string) (SuiteEntry, error) {
+	for _, e := range Suite() {
+		if e.Name == name || e.PaperName == name {
+			return e, nil
+		}
+	}
+	return SuiteEntry{}, fmt.Errorf("circuits: no suite entry named %q", name)
+}
+
+// Build generates the entry's circuit.
+func (e SuiteEntry) Build() *netlist.Circuit {
+	return MustGenerate(e.Params)
+}
+
+// ByName returns any built-in circuit by name: "s27", "fig4", "intro",
+// "table1", or a suite entry name.
+func ByName(name string) (*netlist.Circuit, error) {
+	switch name {
+	case "s27":
+		return S27(), nil
+	case "fig4":
+		return Fig4(), nil
+	case "intro":
+		return Intro(), nil
+	case "table1":
+		return Table1(), nil
+	}
+	e, err := SuiteEntryByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return e.Build(), nil
+}
+
+// Names lists every circuit name accepted by ByName.
+func Names() []string {
+	names := []string{"s27", "fig4", "intro", "table1"}
+	for _, e := range Suite() {
+		names = append(names, e.Name)
+	}
+	return names
+}

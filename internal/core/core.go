@@ -1,0 +1,770 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/fault"
+	"repro/internal/implic"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+// FaultOutcome is the result of simulating one fault.
+type FaultOutcome struct {
+	Fault   fault.Fault
+	Outcome Outcome
+	// At is the conventional detection site when Outcome is
+	// DetectedConventional.
+	At seqsim.Detection
+	// Counters holds the Table 3 effectiveness counters (zero unless the
+	// expansion procedure ran).
+	Counters Counters
+	// Expansions is the number of sequence-duplicating (phase 2)
+	// expansions performed.
+	Expansions int
+	// Sequences is the number of state sequences when expansion stopped.
+	Sequences int
+	// Pairs is the number of candidate (time unit, state variable) pairs
+	// whose backward implications were collected.
+	Pairs int
+	// FailedConditionC reports that the fault was pruned by the necessary
+	// condition (C) before any expansion work.
+	FailedConditionC bool
+	// ByIdentification reports that the fault was identified as detected
+	// directly from the collected implication information (Section 3.2),
+	// without expansion and resimulation.
+	ByIdentification bool
+}
+
+// Simulator runs MOT fault simulation for one circuit and test sequence.
+// It is not safe for concurrent use; create one per goroutine.
+type Simulator struct {
+	c    *netlist.Circuit
+	cfg  Config
+	T    seqsim.Sequence
+	good *seqsim.Trace
+	sim  *seqsim.Simulator
+}
+
+// NewSimulator builds a simulator, running fault-free simulation of the
+// test sequence once up front.
+func NewSimulator(c *netlist.Circuit, T seqsim.Sequence, cfg Config) (*Simulator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := seqsim.New(c)
+	good, err := sim.Run(T, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Simulator{c: c, cfg: cfg, T: T, good: good, sim: sim}, nil
+}
+
+// Good returns the fault-free trace.
+func (s *Simulator) Good() *seqsim.Trace { return s.good }
+
+// Config returns the active configuration.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// svAssign is one implied state-variable value: flip-flop j takes value v.
+type svAssign struct {
+	j int
+	v logic.Val
+}
+
+// pairInfo is the information collected for one candidate pair (u, i):
+// expanding present-state variable y_i at time unit u (Section 3.1).
+type pairInfo struct {
+	u, i   int
+	conf   [2]bool
+	detect [2]bool
+	// extra[a] lists the state variables at time u that become specified
+	// when y_i is set to a — including (i, a) itself. Only meaningful
+	// when neither conf[a] nor detect[a] holds.
+	extra [2][]svAssign
+	// sv is the union of state-variable indices appearing in extra[0] and
+	// extra[1] — the paper's sv(u, i) used by the expansion constraint.
+	sv []int
+}
+
+// sideInfo classifies side a of a pair.
+func (p *pairInfo) resolved(a int) bool { return p.conf[a] || p.detect[a] }
+
+// counters computes the Table 3 counter increments for selecting p.
+func (p *pairInfo) counters() Counters {
+	var c Counters
+	anyResolved := false
+	for a := 0; a < 2; a++ {
+		switch {
+		case p.detect[a]:
+			c.Det++
+			c.Extra += len(p.extra[1-a])
+			anyResolved = true
+		case p.conf[a]:
+			c.Conf++
+			c.Extra += len(p.extra[1-a])
+			anyResolved = true
+		}
+	}
+	if !anyResolved {
+		c.Extra += len(p.extra[0]) + len(p.extra[1])
+	}
+	return c
+}
+
+// profile computes N_sv(u) for u in [0, L] and N_out(u) for u in [0, L-1]
+// over the faulty trace: N_sv counts unspecified faulty state variables at
+// time u; N_out counts pairs (u' >= u, o) where output o is specified in
+// the fault-free circuit and unspecified in the faulty circuit.
+func (s *Simulator) profile(bad *seqsim.Trace) (nsv, nout []int) {
+	L := len(s.T)
+	nsv = make([]int, L+1)
+	for u := 0; u <= L; u++ {
+		nsv[u] = logic.CountX(bad.States[u])
+	}
+	nout = make([]int, L)
+	suffix := 0
+	for u := L - 1; u >= 0; u-- {
+		g, b := s.good.Outputs[u], bad.Outputs[u]
+		for j := range g {
+			if g[j].IsBinary() && b[j] == logic.X {
+				suffix++
+			}
+		}
+		nout[u] = suffix
+	}
+	return nsv, nout
+}
+
+// conditionC checks the necessary condition (C): some time unit
+// 0 <= u < L has N_sv(u) > 0 and N_out(u) > 0.
+func conditionC(nsv, nout []int) bool {
+	for u := range nout {
+		if nsv[u] > 0 && nout[u] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SimulateFault runs the full per-fault pipeline.
+func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
+	out := FaultOutcome{Fault: f}
+
+	// Step 0: conventional fault simulation with fault dropping.
+	bad, at, detected, err := s.sim.RunFault(s.T, s.good, f, s.cfg.UseBackwardImplications)
+	if err != nil {
+		return out, err
+	}
+	if detected {
+		out.Outcome = DetectedConventional
+		out.At = at
+		return out, nil
+	}
+
+	// Necessary condition (C).
+	nsv, nout := s.profile(bad)
+	if !conditionC(nsv, nout) {
+		out.FailedConditionC = true
+		return out, nil
+	}
+
+	// Section 3.1: collect backward-implication information per pair.
+	pairs := s.collectPairs(&f, bad, nout)
+	out.Pairs = len(pairs)
+
+	// Section 3.2: identify faults detected directly from the collected
+	// information.
+	if s.cfg.UseBackwardImplications {
+		for k := range pairs {
+			p := &pairs[k]
+			if (p.detect[0] && p.resolved(1)) || (p.detect[1] && p.resolved(0)) {
+				out.Outcome = DetectedMOT
+				out.ByIdentification = true
+				out.Counters.add(p.counters())
+				out.Sequences = 1
+				return out, nil
+			}
+		}
+	}
+	if s.cfg.IdentificationOnly {
+		// Low-complexity mode (after [6]): no expansion, no resimulation.
+		return out, nil
+	}
+
+	// Section 3.3: state expansion (Procedure 2).
+	seqs, marks := s.expand(pairs, bad, nsv, nout, &out)
+
+	// Section 3.4: resimulation after expansion.
+	out.Sequences = len(seqs)
+	if s.resimulate(&f, seqs, marks) {
+		out.Outcome = DetectedMOT
+		return out, nil
+	}
+
+	// Portfolio retry: the paper observes that every fault detected by
+	// the [4] procedure is also detected by the proposed procedure. The
+	// selection heuristics do not guarantee this per fault (phase 1
+	// forcing and the larger sv(u, i) sets steer phase 2 down a different
+	// expansion path), so when the proposed expansion fails we retry with
+	// the baseline's trivial expansion under the same budget, making the
+	// domination structural.
+	if s.cfg.UseBackwardImplications {
+		var retry FaultOutcome
+		seqs, marks = s.expand(s.trivialPairs(bad, nout), bad, nsv, nout, &retry)
+		if s.resimulate(&f, seqs, marks) {
+			out.Outcome = DetectedMOT
+			out.Expansions += retry.Expansions
+			out.Counters.add(retry.Counters)
+			out.Sequences = len(seqs)
+		}
+	}
+	return out, nil
+}
+
+// collectPairs gathers pairInfo for every candidate (u, i): time units
+// 0 < u < L with a state variable y_i unspecified at u and usefully
+// unspecified outputs at u-1 or later, plus the trivial u = 0 entries
+// (no backward implication possible there).
+//
+// With backward implications disabled (the [4] baseline), every pair is
+// trivial: expansion specifies exactly the selected variable.
+func (s *Simulator) collectPairs(f *fault.Fault, bad *seqsim.Trace, nout []int) []pairInfo {
+	L := len(s.T)
+	nFF := s.c.NumFFs()
+	var pairs []pairInfo
+	capReached := func() bool {
+		return s.cfg.MaxPairs > 0 && len(pairs) >= s.cfg.MaxPairs
+	}
+
+	// u = 0: expansion of the initial state. conf = detect = 0 and
+	// extra(0, i, a) = {(i, a)} by definition (Section 3.1).
+	if nout[0] > 0 {
+		for i := 0; i < nFF; i++ {
+			if bad.States[0][i] != logic.X || capReached() {
+				continue
+			}
+			pairs = append(pairs, trivialPair(0, i))
+		}
+	}
+	for u := 1; u < L; u++ {
+		if nout[u-1] == 0 || capReached() {
+			break // nout is non-increasing: later units are useless too
+		}
+		for i := 0; i < nFF; i++ {
+			if bad.States[u][i] != logic.X || capReached() {
+				continue
+			}
+			if !s.cfg.UseBackwardImplications {
+				pairs = append(pairs, trivialPair(u, i))
+				continue
+			}
+			pairs = append(pairs, s.collectOne(f, bad, u, i))
+		}
+	}
+	return pairs
+}
+
+// trivialPairs enumerates trivial (single-variable) pairs for every
+// candidate (u, i), as the [4] baseline does; used as the phase 2
+// fallback when every collected pair is blocked by the expandability
+// constraint.
+func (s *Simulator) trivialPairs(bad *seqsim.Trace, nout []int) []pairInfo {
+	var out []pairInfo
+	for u := 0; u < len(s.T); u++ {
+		if nout[u] == 0 {
+			break // non-increasing
+		}
+		for i := 0; i < s.c.NumFFs(); i++ {
+			if bad.States[u][i] != logic.X {
+				continue
+			}
+			if s.cfg.MaxPairs > 0 && len(out) >= s.cfg.MaxPairs {
+				return out
+			}
+			out = append(out, trivialPair(u, i))
+		}
+	}
+	return out
+}
+
+// trivialPair is the pair used at u = 0 and throughout the [4] baseline.
+func trivialPair(u, i int) pairInfo {
+	return pairInfo{
+		u: u, i: i,
+		extra: [2][]svAssign{
+			{{j: i, v: logic.Zero}},
+			{{j: i, v: logic.One}},
+		},
+		sv: []int{i},
+	}
+}
+
+// collectOne performs backward implication of y_i at time u for both
+// values, recording the first applicable result: conflict, detection, or
+// the extra specified state variables (Section 3.1).
+func (s *Simulator) collectOne(f *fault.Fault, bad *seqsim.Trace, u, i int) pairInfo {
+	p := pairInfo{u: u, i: i}
+	svSet := map[int]bool{i: true}
+	for a := 0; a < 2; a++ {
+		alpha := logic.Val(a)
+		fr := implic.New(s.c, f, bad.Nodes[u-1])
+		ok := fr.AssignNextState(i, alpha) && s.imply(fr)
+		if !ok {
+			p.conf[a] = true
+			continue
+		}
+		if s.frameDetects(fr, u-1) {
+			p.detect[a] = true
+			continue
+		}
+		// Deeper backward implication (extension; BackwardDepth > 1):
+		// chase newly specified present-state variables into earlier
+		// frames, looking for conflicts and detections only.
+		if s.cfg.BackwardDepth > 1 {
+			switch s.deepBackward(f, bad, fr, u-1, s.cfg.BackwardDepth-1) {
+			case deepConflict:
+				p.conf[a] = true
+				continue
+			case deepDetect:
+				p.detect[a] = true
+				continue
+			}
+		}
+		// Record newly specified state variables at time u.
+		var extra []svAssign
+		for j := 0; j < s.c.NumFFs(); j++ {
+			if bad.States[u][j] != logic.X {
+				continue
+			}
+			if v := fr.NextState(j); v.IsBinary() {
+				extra = append(extra, svAssign{j: j, v: v})
+				svSet[j] = true
+			}
+		}
+		p.extra[a] = extra
+	}
+	for j := range svSet {
+		p.sv = append(p.sv, j)
+	}
+	return p
+}
+
+// imply runs the configured implication schedule.
+func (s *Simulator) imply(fr *implic.Frame) bool {
+	if s.cfg.Schedule == Fixpoint {
+		return fr.ImplyFixpoint(s.cfg.FixpointRounds)
+	}
+	return fr.ImplyTwoPass()
+}
+
+// frameDetects reports whether the frame's outputs contradict the
+// fault-free outputs at time unit u.
+func (s *Simulator) frameDetects(fr *implic.Frame, u int) bool {
+	g := s.good.Outputs[u]
+	for j := range g {
+		if v := fr.Output(j); v.IsBinary() && g[j].IsBinary() && v != g[j] {
+			return true
+		}
+	}
+	return false
+}
+
+// deepBackward outcome codes.
+type deepResult uint8
+
+const (
+	deepNothing deepResult = iota
+	deepConflict
+	deepDetect
+)
+
+// deepBackward chases present-state variables newly specified at frame u
+// into frame u-1, asserting the corresponding next-state variables there
+// and running implications, for up to depth further time units.
+func (s *Simulator) deepBackward(f *fault.Fault, bad *seqsim.Trace, fr *implic.Frame, u, depth int) deepResult {
+	if depth <= 0 || u == 0 {
+		return deepNothing
+	}
+	var newly []svAssign
+	for j := 0; j < s.c.NumFFs(); j++ {
+		if bad.States[u][j] != logic.X {
+			continue
+		}
+		if v := fr.PresentState(j); v.IsBinary() {
+			newly = append(newly, svAssign{j: j, v: v})
+		}
+	}
+	if len(newly) == 0 {
+		return deepNothing
+	}
+	prev := implic.New(s.c, f, bad.Nodes[u-1])
+	for _, a := range newly {
+		if !prev.AssignNextState(a.j, a.v) {
+			return deepConflict
+		}
+	}
+	if !s.imply(prev) {
+		return deepConflict
+	}
+	if s.frameDetects(prev, u-1) {
+		return deepDetect
+	}
+	return s.deepBackward(f, bad, prev, u-1, depth-1)
+}
+
+// sequence is one expanded state sequence: states[u][j] is the value of
+// state variable j at time u, u in [0, L].
+type sequence struct {
+	states [][]logic.Val
+}
+
+// cloneStates deep-copies a state matrix.
+func cloneStates(src [][]logic.Val) [][]logic.Val {
+	dst := make([][]logic.Val, len(src))
+	for u := range src {
+		row := make([]logic.Val, len(src[u]))
+		copy(row, src[u])
+		dst[u] = row
+	}
+	return dst
+}
+
+// expand implements Procedure 2: phase 1 applies every single-sided pair
+// (one value conflicted or detected) by forcing the surviving value's
+// implications into the base sequence; phase 2 repeatedly selects the
+// best remaining pair by the four criteria and duplicates every sequence
+// until the N_STATES budget is reached. It returns the sequences and the
+// set of marked time units for resimulation.
+func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int, out *FaultOutcome) ([]*sequence, []bool) {
+	L := len(s.T)
+	marks := make([]bool, L+1)
+	s0 := &sequence{states: cloneStates(bad.States)}
+	seqs := []*sequence{s0}
+
+	// Phase 1 (Procedure 2, step 2).
+	for k := range pairs {
+		p := &pairs[k]
+		var survivor int
+		switch {
+		case p.resolved(0) && p.resolved(1):
+			// Both sides resolved: handled by identification (Section
+			// 3.2) when a detection is present; two conflicts cannot
+			// both arise from a consistent base. Nothing to force.
+			continue
+		case p.resolved(0):
+			survivor = 1
+		case p.resolved(1):
+			survivor = 0
+		default:
+			continue
+		}
+		out.Counters.add(p.counters())
+		for _, a := range p.extra[survivor] {
+			if s0.states[p.u][a.j] == logic.X {
+				s0.states[p.u][a.j] = a.v
+			}
+		}
+		marks[p.u] = true
+	}
+
+	// Phase 2 (Procedure 2, steps 3-10). When backward implications are
+	// enabled and the collected pairs are exhausted (their sv(u, i) sets
+	// grow with the implied extras, so the step 3 constraint can starve
+	// the budget), expansion falls back to trivial single-variable pairs,
+	// exactly as the [4] baseline expands. This engineering completion
+	// preserves the paper's observation that every fault detected by [4]
+	// is also detected by the proposed procedure.
+	var fallback []pairInfo
+	for len(seqs) < s.cfg.NStates {
+		best := s.selectPair(pairs, seqs, nsv, nout)
+		if best < 0 && s.cfg.UseBackwardImplications {
+			if fallback == nil {
+				fallback = s.trivialPairs(bad, nout)
+			}
+			pairs = fallback
+			best = s.selectPair(pairs, seqs, nsv, nout)
+		}
+		if best < 0 {
+			break
+		}
+		p := &pairs[best]
+		out.Counters.add(p.counters())
+		out.Expansions++
+		marks[p.u] = true
+		grown := make([]*sequence, 0, 2*len(seqs))
+		for _, sq := range seqs {
+			dup := &sequence{states: cloneStates(sq.states)}
+			for _, a := range p.extra[0] {
+				sq.states[p.u][a.j] = a.v
+			}
+			for _, a := range p.extra[1] {
+				dup.states[p.u][a.j] = a.v
+			}
+			grown = append(grown, sq, dup)
+		}
+		seqs = grown
+	}
+	return seqs, marks
+}
+
+// selectPair returns the index of the best expandable pair under the
+// paper's constraint and criteria, or -1 when none qualifies.
+//
+// Constraint: every state variable in sv(u, i) is unspecified at time u in
+// every sequence. Criteria, in order: (1) maximum N_out(u); (2) minimum
+// N_sv(u); (3) maximum over pairs of min(|extra 0|, |extra 1|); (4)
+// maximum of max(|extra 0|, |extra 1|). Remaining ties break toward the
+// smallest (u, i) for determinism.
+func (s *Simulator) selectPair(pairs []pairInfo, seqs []*sequence, nsv, nout []int) int {
+	best := -1
+	var bNout, bNsv, bMin, bMax int
+	for k := range pairs {
+		p := &pairs[k]
+		if p.resolved(0) || p.resolved(1) {
+			continue // applied in phase 1
+		}
+		if nout[p.u] == 0 || nsv[p.u] == 0 {
+			continue
+		}
+		if !expandable(p, seqs) {
+			continue
+		}
+		e0, e1 := len(p.extra[0]), len(p.extra[1])
+		pMin, pMax := e0, e1
+		if pMin > pMax {
+			pMin, pMax = pMax, pMin
+		}
+		if best < 0 {
+			best, bNout, bNsv, bMin, bMax = k, nout[p.u], nsv[p.u], pMin, pMax
+			continue
+		}
+		switch {
+		case nout[p.u] != bNout:
+			if nout[p.u] > bNout {
+				best, bNout, bNsv, bMin, bMax = k, nout[p.u], nsv[p.u], pMin, pMax
+			}
+		case nsv[p.u] != bNsv:
+			if nsv[p.u] < bNsv {
+				best, bNout, bNsv, bMin, bMax = k, nout[p.u], nsv[p.u], pMin, pMax
+			}
+		case pMin != bMin:
+			if pMin > bMin {
+				best, bNout, bNsv, bMin, bMax = k, nout[p.u], nsv[p.u], pMin, pMax
+			}
+		case pMax != bMax:
+			if pMax > bMax {
+				best, bNout, bNsv, bMin, bMax = k, nout[p.u], nsv[p.u], pMin, pMax
+			}
+		}
+	}
+	return best
+}
+
+// expandable checks the Procedure 2 step 3 constraint for pair p.
+func expandable(p *pairInfo, seqs []*sequence) bool {
+	for _, sq := range seqs {
+		row := sq.states[p.u]
+		for _, j := range p.sv {
+			if row[j] != logic.X {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// resimulate implements Section 3.4: every sequence is resimulated at its
+// marked time units (propagating newly specified state variables forward)
+// until it is resolved by a detection or an infeasibility conflict, or
+// until no marked units remain. The fault is detected when every sequence
+// resolves.
+func (s *Simulator) resimulate(f *fault.Fault, seqs []*sequence, baseMarks []bool) bool {
+	c := s.c
+	L := len(s.T)
+	vals := make([]logic.Val, c.NumNodes())
+	marks := make([]bool, L+1)
+	for _, sq := range seqs {
+		copy(marks, baseMarks)
+		resolved := false
+		for u := 0; u < L && !resolved; u++ {
+			if !marks[u] {
+				continue
+			}
+			seqsim.EvalFrame(c, s.T[u], sq.states[u], f, vals)
+			// Output conflict with the fault-free response: detection.
+			g := s.good.Outputs[u]
+			for j, id := range c.Outputs {
+				v := vals[id]
+				if v.IsBinary() && g[j].IsBinary() && v != g[j] {
+					resolved = true
+					break
+				}
+			}
+			if resolved {
+				break
+			}
+			// Compare the computed next state with the sequence's state at
+			// u+1: a conflict means the sequence is infeasible; new values
+			// refine it and mark u+1.
+			next := sq.states[u+1]
+			for j, ff := range c.FFs {
+				v := f.Observed(ff.Q, vals[ff.D])
+				if !v.IsBinary() {
+					continue
+				}
+				switch next[j] {
+				case logic.X:
+					next[j] = v
+					marks[u+1] = true
+				case v:
+					// consistent
+				default:
+					resolved = true // infeasible state sequence
+				}
+				if resolved {
+					break
+				}
+			}
+		}
+		if !resolved {
+			return false
+		}
+	}
+	return true
+}
+
+// Result aggregates a whole-fault-list run.
+type Result struct {
+	Circuit  string
+	Total    int
+	Conv     int
+	MOT      int
+	Outcomes []FaultOutcome
+	// Sums of the Table 3 counters over MOT-detected faults.
+	Sum Counters
+	// PrunedConditionC counts undetected faults rejected by the necessary
+	// condition (C) before any expansion work.
+	PrunedConditionC int
+	// Identified counts MOT detections established directly from the
+	// collected implication information (Section 3.2), without expansion.
+	Identified int
+	// Expansions is the total number of sequence-duplicating expansions
+	// across all faults.
+	Expansions int
+}
+
+// Detected returns the total number of detected faults.
+func (r *Result) Detected() int { return r.Conv + r.MOT }
+
+// AvgCounters returns the Table 3 averages over the faults detected by
+// the MOT procedure beyond conventional simulation.
+func (r *Result) AvgCounters() (det, conf, extra float64) {
+	if r.MOT == 0 {
+		return 0, 0, 0
+	}
+	n := float64(r.MOT)
+	return float64(r.Sum.Det) / n, float64(r.Sum.Conf) / n, float64(r.Sum.Extra) / n
+}
+
+// Run simulates every fault in the list. The optional progress callback
+// is invoked after each fault.
+func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*Result, error) {
+	res := &Result{Circuit: s.c.Name, Total: len(faults)}
+	res.Outcomes = make([]FaultOutcome, 0, len(faults))
+	for k, f := range faults {
+		o, err := s.SimulateFault(f)
+		if err != nil {
+			return nil, fmt.Errorf("core: fault %s: %w", f.Name(s.c), err)
+		}
+		res.tally(o)
+		if progress != nil {
+			progress(k+1, len(faults))
+		}
+	}
+	return res, nil
+}
+
+// tally folds one outcome into the aggregate.
+func (r *Result) tally(o FaultOutcome) {
+	switch o.Outcome {
+	case DetectedConventional:
+		r.Conv++
+	case DetectedMOT:
+		r.MOT++
+		r.Sum.add(o.Counters)
+		if o.ByIdentification {
+			r.Identified++
+		}
+	default:
+		if o.FailedConditionC {
+			r.PrunedConditionC++
+		}
+	}
+	r.Expansions += o.Expansions
+	r.Outcomes = append(r.Outcomes, o)
+}
+
+// RunParallel simulates the fault list on `workers` goroutines. Each
+// worker clones the simulator (sharing the immutable circuit, test
+// sequence and fault-free trace); results are identical to Run and are
+// returned in fault-list order.
+func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func(done, total int)) (*Result, error) {
+	if workers < 2 || len(faults) < 2 {
+		return s.Run(faults, progress)
+	}
+	if workers > len(faults) {
+		workers = len(faults)
+	}
+	outcomes := make([]FaultOutcome, len(faults))
+	errs := make([]error, workers)
+	var (
+		nextIdx int64 = -1
+		mu      sync.Mutex
+		count   int
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			worker := &Simulator{
+				c: s.c, cfg: s.cfg, T: s.T, good: s.good,
+				sim: seqsim.New(s.c),
+			}
+			for {
+				k := int(atomic.AddInt64(&nextIdx, 1))
+				if k >= len(faults) {
+					return
+				}
+				o, err := worker.SimulateFault(faults[k])
+				if err != nil {
+					errs[w] = fmt.Errorf("core: fault %s: %w", faults[k].Name(s.c), err)
+					return
+				}
+				outcomes[k] = o
+				if progress != nil {
+					mu.Lock()
+					count++
+					progress(count, len(faults))
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{Circuit: s.c.Name, Total: len(faults)}
+	res.Outcomes = make([]FaultOutcome, 0, len(faults))
+	for _, o := range outcomes {
+		res.tally(o)
+	}
+	return res, nil
+}

@@ -1,0 +1,238 @@
+// Package diagnosis implements pass/fail fault-dictionary diagnosis on
+// top of the fault simulator: each fault's syndrome — the set of (time,
+// output) positions where its response definitely or potentially differs
+// from the fault-free response — is precomputed, and an observed failure
+// set from a tester is matched against the dictionary.
+//
+// Three-valued simulation gives each fault two position sets:
+//
+//   - must: the fault-free value and the faulty value are opposite binary
+//     values — the position fails on every device with this fault;
+//   - may: the fault-free value is binary but the faulty value is X — the
+//     position may pass or fail depending on the device's initial state
+//     (the same unknown-initial-state effect the MOT approach exploits).
+//
+// A candidate fault is consistent with an observation iff
+// must ⊆ observed ⊆ must ∪ may.
+package diagnosis
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+// Position identifies one observation point: output j at time frame u.
+type Position struct {
+	Time   int
+	Output int
+}
+
+// bitset is a fixed-size bitset over observation positions.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) get(i int) bool { return b[i/64]>>uint(i%64)&1 == 1 }
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// subset reports whether b ⊆ other.
+func (b bitset) subset(other bitset) bool {
+	for i, w := range b {
+		if w&^other[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// subsetOfUnion reports whether b ⊆ (x ∪ y).
+func (b bitset) subsetOfUnion(x, y bitset) bool {
+	for i, w := range b {
+		if w&^(x[i]|y[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Entry is one dictionary row.
+type Entry struct {
+	Fault fault.Fault
+	must  bitset
+	may   bitset
+}
+
+// MustCount returns the number of definite failing positions.
+func (e *Entry) MustCount() int { return e.must.count() }
+
+// MayCount returns the number of potential failing positions.
+func (e *Entry) MayCount() int { return e.may.count() }
+
+// Dictionary is a pass/fail fault dictionary for one circuit and test
+// sequence.
+type Dictionary struct {
+	c         *netlist.Circuit
+	T         seqsim.Sequence
+	positions int
+	Entries   []Entry
+}
+
+// Build simulates every fault to completion (no fault dropping) and
+// records its syndrome.
+func Build(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) (*Dictionary, error) {
+	sim := seqsim.New(c)
+	good, err := sim.Run(T, nil, true)
+	if err != nil {
+		return nil, err
+	}
+	d := &Dictionary{c: c, T: T, positions: len(T) * c.NumOutputs()}
+	d.Entries = make([]Entry, 0, len(faults))
+	for _, f := range faults {
+		bad, err := sim.Run(T, &f, false)
+		if err != nil {
+			return nil, err
+		}
+		e := Entry{Fault: f, must: newBitset(d.positions), may: newBitset(d.positions)}
+		for u := range T {
+			for j := range good.Outputs[u] {
+				g, b := good.Outputs[u][j], bad.Outputs[u][j]
+				if !g.IsBinary() {
+					continue
+				}
+				idx := u*c.NumOutputs() + j
+				switch {
+				case b.IsBinary() && b != g:
+					e.must.set(idx)
+				case !b.IsBinary():
+					e.may.set(idx)
+				}
+			}
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	return d, nil
+}
+
+// index converts a position to a bit index, checking bounds.
+func (d *Dictionary) index(p Position) (int, error) {
+	if p.Time < 0 || p.Time >= len(d.T) || p.Output < 0 || p.Output >= d.c.NumOutputs() {
+		return 0, fmt.Errorf("diagnosis: position %+v out of range", p)
+	}
+	return p.Time*d.c.NumOutputs() + p.Output, nil
+}
+
+// Observation is the failure set reported by a tester.
+type Observation struct {
+	d   *Dictionary
+	set bitset
+}
+
+// NewObservation builds an observation from failing positions.
+func (d *Dictionary) NewObservation(failures []Position) (*Observation, error) {
+	o := &Observation{d: d, set: newBitset(d.positions)}
+	for _, p := range failures {
+		idx, err := d.index(p)
+		if err != nil {
+			return nil, err
+		}
+		o.set.set(idx)
+	}
+	return o, nil
+}
+
+// ObservationOf builds the observation a device with fault f and the
+// given binary initial state would produce — useful for experiments and
+// for validating the dictionary against itself.
+func (d *Dictionary) ObservationOf(f fault.Fault, initialState []int) (*Observation, error) {
+	c := d.c
+	if len(initialState) != c.NumFFs() {
+		return nil, fmt.Errorf("diagnosis: initial state has %d bits, circuit has %d flip-flops",
+			len(initialState), c.NumFFs())
+	}
+	sim := seqsim.New(c)
+	good, err := sim.Run(d.T, nil, false)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]logic.Val, c.NumNodes())
+	state := make([]logic.Val, c.NumFFs())
+	for i := range state {
+		state[i] = logic.FromBool(initialState[i] != 0)
+		state[i] = f.Observed(c.FFs[i].Q, state[i])
+	}
+	o := &Observation{d: d, set: newBitset(d.positions)}
+	for u := range d.T {
+		seqsim.EvalFrame(c, d.T[u], state, &f, vals)
+		for j, id := range c.Outputs {
+			g := good.Outputs[u][j]
+			if g.IsBinary() && vals[id].IsBinary() && vals[id] != g {
+				o.set.set(u*c.NumOutputs() + j)
+			}
+		}
+		next := make([]logic.Val, c.NumFFs())
+		for i, ff := range c.FFs {
+			next[i] = f.Observed(ff.Q, vals[ff.D])
+		}
+		state = next
+	}
+	return o, nil
+}
+
+// Candidate is one diagnosis result.
+type Candidate struct {
+	Fault fault.Fault
+	// Exact reports full consistency: must ⊆ observed ⊆ must ∪ may.
+	Exact bool
+	// Matched is the number of observed failures the fault explains.
+	Matched int
+	// Missed is the number of observed failures the fault cannot produce.
+	Missed int
+	// Unexplained is the number of definite failures of the fault that
+	// were not observed.
+	Unexplained int
+}
+
+// Diagnose returns the candidate list, consistent candidates first,
+// then by descending Matched and ascending Missed+Unexplained. The full
+// ranked list supports diagnosis even when no candidate is perfectly
+// consistent (e.g., a defect outside the fault model).
+func (d *Dictionary) Diagnose(o *Observation) []Candidate {
+	out := make([]Candidate, 0, len(d.Entries))
+	for k := range d.Entries {
+		e := &d.Entries[k]
+		cand := Candidate{Fault: e.Fault}
+		cand.Exact = e.must.subset(o.set) && o.set.subsetOfUnion(e.must, e.may)
+		for i, w := range o.set {
+			cand.Matched += bits.OnesCount64(w & (e.must[i] | e.may[i]))
+			cand.Missed += bits.OnesCount64(w &^ (e.must[i] | e.may[i]))
+			cand.Unexplained += bits.OnesCount64(e.must[i] &^ w)
+		}
+		out = append(out, cand)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return better(out[i], out[j]) })
+	return out
+}
+
+// better orders candidates.
+func better(a, b Candidate) bool {
+	if a.Exact != b.Exact {
+		return a.Exact
+	}
+	if a.Matched != b.Matched {
+		return a.Matched > b.Matched
+	}
+	return a.Missed+a.Unexplained < b.Missed+b.Unexplained
+}

@@ -1,0 +1,270 @@
+package diagnosis
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+	"repro/internal/tgen"
+)
+
+func TestBitsetOps(t *testing.T) {
+	a := newBitset(130)
+	b := newBitset(130)
+	a.set(0)
+	a.set(129)
+	b.set(0)
+	b.set(64)
+	b.set(129)
+	if !a.subset(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.subset(a) {
+		t.Error("b should not be subset of a")
+	}
+	if a.count() != 2 || b.count() != 3 {
+		t.Error("count wrong")
+	}
+	u := newBitset(130)
+	u.set(64)
+	if !b.subsetOfUnion(a, u) {
+		t.Error("b should be subset of a ∪ u")
+	}
+	if !a.get(129) || a.get(1) {
+		t.Error("get wrong")
+	}
+}
+
+// dictOf builds a dictionary for the reset circuit over a fixed sequence.
+func dictOf(t *testing.T) (*Dictionary, *netlist.Circuit, []fault.Fault) {
+	t.Helper()
+	c, err := bench.ParseString("rst", `
+INPUT(r)
+INPUT(x)
+OUTPUT(o1)
+OUTPUT(o2)
+q = DFF(d)
+d = AND(r, t)
+t = XOR(q, x)
+o1 = BUFF(q)
+o2 = NOR(t, x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, err := seqsim.ParseSequence([]string{"00", "11", "10", "01", "11"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedList(c)
+	d, err := Build(c, T, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, c, faults
+}
+
+func TestDictionarySelfDiagnosis(t *testing.T) {
+	d, c, faults := dictOf(t)
+	// For every fault and every initial state, diagnosing the device's
+	// own observation must rank that fault (or an equivalent one) as an
+	// exact candidate.
+	for k, f := range faults {
+		for init := 0; init < 2; init++ {
+			obs, err := d.ObservationOf(f, []int{init})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := d.Diagnose(obs)
+			found := false
+			for _, cand := range cands {
+				if !cand.Exact {
+					break // exact candidates sort first
+				}
+				if cand.Fault == f {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("fault %d (%s), init %d: own observation not exactly matched",
+					k, f.Name(c), init)
+			}
+		}
+	}
+}
+
+func TestDiagnoseEmptyObservation(t *testing.T) {
+	d, _, _ := dictOf(t)
+	obs, err := d.NewObservation(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Diagnose(obs)
+	// Faults with non-empty must sets cannot be exact for a passing
+	// device.
+	for _, cand := range cands {
+		if cand.Exact && cand.Unexplained > 0 {
+			t.Fatal("exact candidate with unexplained definite failures")
+		}
+	}
+}
+
+func TestNewObservationBounds(t *testing.T) {
+	d, _, _ := dictOf(t)
+	if _, err := d.NewObservation([]Position{{Time: 99, Output: 0}}); err == nil {
+		t.Error("out-of-range time accepted")
+	}
+	if _, err := d.NewObservation([]Position{{Time: 0, Output: 7}}); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+	if _, err := d.ObservationOf(fault.Fault{Node: 0, Gate: netlist.NoGate, Stuck: logic.One}, []int{0, 1}); err == nil {
+		t.Error("wrong initial-state width accepted")
+	}
+}
+
+func TestRankingPrefersExplanatoryFault(t *testing.T) {
+	d, c, faults := dictOf(t)
+	// Observe the must-set of a fault with definite failures; that fault
+	// must outrank faults explaining nothing.
+	var target int = -1
+	for k := range d.Entries {
+		if d.Entries[k].MustCount() > 0 {
+			target = k
+			break
+		}
+	}
+	if target < 0 {
+		t.Skip("no fault with definite failures")
+	}
+	var failures []Position
+	for u := 0; u < len(d.T); u++ {
+		for j := 0; j < c.NumOutputs(); j++ {
+			if d.Entries[target].must.get(u*c.NumOutputs() + j) {
+				failures = append(failures, Position{Time: u, Output: j})
+			}
+		}
+	}
+	obs, err := d.NewObservation(failures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := d.Diagnose(obs)
+	if cands[0].Matched == 0 {
+		t.Fatal("top candidate explains nothing")
+	}
+	found := false
+	for _, cand := range cands[:5] {
+		if cand.Fault == faults[target] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("target fault %s not in top candidates", faults[target].Name(c))
+	}
+}
+
+// TestSelfDiagnosisRandom extends the self-diagnosis property to random
+// circuits and initial states.
+func TestSelfDiagnosisRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	trials := 0
+	for trials < 8 {
+		c, err := randomCircuit(rng, 2, 3, 8+rng.Intn(10))
+		if err != nil {
+			continue
+		}
+		trials++
+		T := tgen.Random(c.NumInputs(), 6, int64(trials))
+		faults := fault.CollapsedList(c)
+		d, err := Build(c, T, faults)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults {
+			init := make([]int, c.NumFFs())
+			for i := range init {
+				init[i] = rng.Intn(2)
+			}
+			obs, err := d.ObservationOf(f, init)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands := d.Diagnose(obs)
+			ok := false
+			for _, cand := range cands {
+				if cand.Exact && cand.Fault == f {
+					ok = true
+					break
+				}
+				if !cand.Exact {
+					break
+				}
+			}
+			if !ok {
+				t.Fatalf("trial %d: fault %s own observation inconsistent", trials, f.Name(c))
+			}
+		}
+	}
+}
+
+func randomCircuit(rng *rand.Rand, nPI, nFF, nGates int) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder("rand")
+	var pool []netlist.NodeID
+	for i := 0; i < nPI; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	for i := 0; i < nFF; i++ {
+		pool = append(pool, b.FlipFlop(fmt.Sprintf("q%d", i), b.Signal(fmt.Sprintf("d%d", i))))
+	}
+	ops := []logic.Op{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Not}
+	for i := 0; i < nGates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		n := 1
+		if op != logic.Not {
+			n = 2 + rng.Intn(2)
+		}
+		ins := make([]netlist.NodeID, n)
+		for j := range ins {
+			ins[j] = pool[rng.Intn(len(pool))]
+		}
+		var name string
+		if i < nFF {
+			name = fmt.Sprintf("d%d", i)
+		} else {
+			name = fmt.Sprintf("g%d", i)
+		}
+		pool = append(pool, b.Gate(op, name, ins...))
+	}
+	for i := 0; i < 2 && i < nGates-nFF; i++ {
+		b.Output(fmt.Sprintf("g%d", nGates-1-i))
+	}
+	return b.Build()
+}
+
+func TestDictionaryOnS27(t *testing.T) {
+	c := circuits.S27()
+	T := tgen.Random(4, 16, 42)
+	d, err := Build(c, T, fault.CollapsedList(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withMust := 0
+	for k := range d.Entries {
+		if d.Entries[k].MustCount() > 0 {
+			withMust++
+		}
+		if d.Entries[k].MayCount() < 0 {
+			t.Fatal("negative may count")
+		}
+	}
+	if withMust == 0 {
+		t.Fatal("no fault has definite failures on s27")
+	}
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/circuits"
+)
+
+// smallEntry is a fast synthetic entry for driver tests.
+func smallEntry(scaled bool) circuits.SuiteEntry {
+	return circuits.SuiteEntry{
+		Name:      "tiny",
+		PaperName: "tiny",
+		Params: circuits.GenParams{
+			Name: "tiny", Inputs: 4, Outputs: 3, FFs: 5, FreeFFs: 1, Gates: 40, Seed: 77,
+		},
+		SeqLen:  16,
+		SeqSeed: 7,
+		Paper:   circuits.PaperRow{TotalFaults: 1, ProposedTotal: 1},
+		Scaled:  scaled,
+	}
+}
+
+func TestRunEntryBothProcedures(t *testing.T) {
+	run, err := RunEntry(smallEntry(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Proposed == nil || run.Baseline == nil {
+		t.Fatal("both procedures should run")
+	}
+	if run.Proposed.Total != len(run.Faults) {
+		t.Error("fault totals inconsistent")
+	}
+	if run.Proposed.Detected() < run.Baseline.Detected() {
+		t.Errorf("proposed %d < baseline %d", run.Proposed.Detected(), run.Baseline.Detected())
+	}
+	if run.Baseline.Detected() < run.Proposed.Conv {
+		t.Error("baseline below conventional")
+	}
+	if run.Proposed.Conv != run.Baseline.Conv {
+		t.Error("conventional counts must agree between procedures")
+	}
+}
+
+func TestRunEntrySkipsScaledBaseline(t *testing.T) {
+	run, err := RunEntry(smallEntry(true), Options{SkipBaselineScaled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Baseline != nil {
+		t.Fatal("scaled baseline should be skipped")
+	}
+	rows := Table2Rows([]*CircuitRun{run})
+	if rows[0].BaseTotal != rows[0].Conv {
+		t.Error("NA baseline should floor at conventional")
+	}
+}
+
+func TestRunEntryProgressAndNStates(t *testing.T) {
+	calls := 0
+	_, err := RunEntry(smallEntry(false), Options{
+		NStates:  4,
+		Progress: func(circuit string, done, total int) { calls++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Error("progress never called")
+	}
+}
+
+func TestTableRows(t *testing.T) {
+	run, err := RunEntry(smallEntry(false), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2 := Table2Rows([]*CircuitRun{run})
+	if len(t2) != 1 || t2[0].Circuit != "tiny" || t2[0].Total != run.Proposed.Total {
+		t.Errorf("Table 2 row wrong: %+v", t2)
+	}
+	t3 := Table3Rows([]*CircuitRun{run})
+	if len(t3) != 1 || t3[0].Circuit != "tiny" {
+		t.Errorf("Table 3 row wrong: %+v", t3)
+	}
+}
+
+func TestRunSuiteSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite run in -short mode")
+	}
+	runs, err := RunSuite([]string{"sg208"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 || runs[0].Entry.Name != "sg208" {
+		t.Fatal("selection failed")
+	}
+	if _, err := RunSuite([]string{"bogus"}, Options{}); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}
+
+func TestRunHITECStyleSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("greedy generation in -short mode")
+	}
+	res, err := RunHITECStyle("sg298", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SeqLen == 0 {
+		t.Fatal("empty sequence")
+	}
+	if res.Proposed.MOT < res.Baseline.MOT {
+		t.Errorf("proposed extras %d < baseline extras %d", res.Proposed.MOT, res.Baseline.MOT)
+	}
+	if _, err := RunHITECStyle("bogus", Options{}); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+}

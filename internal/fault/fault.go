@@ -1,0 +1,216 @@
+// Package fault implements the single stuck-at fault model for gate-level
+// sequential circuits: fault sites (signal stems and fanout branches),
+// fault list generation, and structural equivalence collapsing.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Fault is a single stuck-at fault.
+//
+// A stem fault (Gate == netlist.NoGate) forces the value seen by every
+// reader of Node — gate input pins, primary-output observation, and
+// flip-flop D inputs — to Stuck.
+//
+// A branch fault (Gate >= 0) forces only the value seen by input pin Pin
+// of Gate to Stuck; all other readers of Node see the true value. Branch
+// faults are enumerated only for pins whose driving node has more than
+// one reader, since a single-reader branch fault is indistinguishable
+// from the stem fault.
+type Fault struct {
+	// Node is the faulty signal.
+	Node netlist.NodeID
+	// Gate is the reading gate for a branch fault, or netlist.NoGate.
+	Gate netlist.GateID
+	// Pin is the input position within Gate for a branch fault.
+	Pin int32
+	// Stuck is the stuck-at value, logic.Zero or logic.One.
+	Stuck logic.Val
+}
+
+// IsStem reports whether f is a stem (whole-signal) fault.
+func (f Fault) IsStem() bool { return f.Gate == netlist.NoGate }
+
+// String renders the fault without circuit context, using raw IDs.
+func (f Fault) String() string {
+	if f.IsStem() {
+		return fmt.Sprintf("n%d/SA%v", f.Node, f.Stuck)
+	}
+	return fmt.Sprintf("n%d->g%d.%d/SA%v", f.Node, f.Gate, f.Pin, f.Stuck)
+}
+
+// Name renders the fault with signal names from the circuit.
+func (f Fault) Name(c *netlist.Circuit) string {
+	if f.IsStem() {
+		return fmt.Sprintf("%s/SA%v", c.NodeName(f.Node), f.Stuck)
+	}
+	return fmt.Sprintf("%s->%s.%d/SA%v",
+		c.NodeName(f.Node), c.NodeName(c.Gates[f.Gate].Out), f.Pin, f.Stuck)
+}
+
+// SeenBy returns the value pin Input of gate g sees on node n when the
+// true node value is v under fault f.
+func (f Fault) SeenBy(g netlist.GateID, pin int32, n netlist.NodeID, v logic.Val) logic.Val {
+	if f.Node == n && (f.IsStem() || (f.Gate == g && f.Pin == pin)) {
+		return f.Stuck
+	}
+	return v
+}
+
+// Observed returns the value an observer that is not a gate pin (a primary
+// output or a flip-flop D input) sees on node n when the true value is v.
+// Only stem faults affect such observers.
+func (f Fault) Observed(n netlist.NodeID, v logic.Val) logic.Val {
+	if f.IsStem() && f.Node == n {
+		return f.Stuck
+	}
+	return v
+}
+
+// StuckNode reports whether node n carries a stem fault under f, returning
+// the stuck value.
+func (f Fault) StuckNode(n netlist.NodeID) (logic.Val, bool) {
+	if f.IsStem() && f.Node == n {
+		return f.Stuck, true
+	}
+	return logic.X, false
+}
+
+// List enumerates the full (uncollapsed) single stuck-at fault list of c:
+// two stem faults per signal node, and two branch faults per gate input
+// pin whose driving node has more than one reader. The order is
+// deterministic: stems by node ID, then branches by (gate, pin), each with
+// stuck-at-0 before stuck-at-1.
+func List(c *netlist.Circuit) []Fault {
+	var faults []Fault
+	for id := range c.Nodes {
+		n := netlist.NodeID(id)
+		faults = append(faults,
+			Fault{Node: n, Gate: netlist.NoGate, Stuck: logic.Zero},
+			Fault{Node: n, Gate: netlist.NoGate, Stuck: logic.One})
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		for pi, in := range g.In {
+			if c.FanoutCount(in) > 1 {
+				faults = append(faults,
+					Fault{Node: in, Gate: netlist.GateID(gi), Pin: int32(pi), Stuck: logic.Zero},
+					Fault{Node: in, Gate: netlist.GateID(gi), Pin: int32(pi), Stuck: logic.One})
+			}
+		}
+	}
+	return faults
+}
+
+// Collapse reduces a fault list by structural equivalence. Two faults are
+// equivalent when every test detecting one detects the other; the classic
+// single-gate rules are:
+//
+//   - BUF: input sa-v  ≡ output sa-v
+//   - NOT: input sa-v  ≡ output sa-v̄
+//   - AND: any input sa-0 ≡ output sa-0   NAND: any input sa-0 ≡ output sa-1
+//   - OR:  any input sa-1 ≡ output sa-1   NOR:  any input sa-1 ≡ output sa-0
+//
+// The "input" fault of a gate pin is the branch fault at that pin when the
+// driving node has multiple readers, and the driver's stem fault
+// otherwise. Equivalence classes are computed by union-find; the
+// representative kept is the fault that appears first in the input list,
+// so the output is a deterministic sub-list of the input.
+func Collapse(c *netlist.Circuit, faults []Fault) []Fault {
+	index := make(map[Fault]int, len(faults))
+	for i, f := range faults {
+		index[f] = i
+	}
+	parent := make([]int, len(faults))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return
+		}
+		// Keep the smaller index as representative.
+		if ra < rb {
+			parent[rb] = ra
+		} else {
+			parent[ra] = rb
+		}
+	}
+	// inputFault returns the fault modeling "gate g sees value stuck at v
+	// on pin pin", which is the branch fault when one exists in the list
+	// and the driver stem fault otherwise.
+	inputFault := func(g netlist.GateID, pin int32, n netlist.NodeID, v logic.Val) (int, bool) {
+		if i, ok := index[Fault{Node: n, Gate: g, Pin: pin, Stuck: v}]; ok {
+			return i, true
+		}
+		if c.FanoutCount(n) == 1 {
+			if i, ok := index[Fault{Node: n, Gate: netlist.NoGate, Stuck: v}]; ok {
+				return i, true
+			}
+		}
+		return 0, false
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		var inVal, outVal logic.Val
+		switch g.Op {
+		case logic.Buf, logic.Not:
+			for _, v := range []logic.Val{logic.Zero, logic.One} {
+				ov := v
+				if g.Op == logic.Not {
+					ov = v.Not()
+				}
+				oi, ok1 := index[Fault{Node: g.Out, Gate: netlist.NoGate, Stuck: ov}]
+				ii, ok2 := inputFault(netlist.GateID(gi), 0, g.In[0], v)
+				if ok1 && ok2 {
+					union(oi, ii)
+				}
+			}
+			continue
+		case logic.And:
+			inVal, outVal = logic.Zero, logic.Zero
+		case logic.Nand:
+			inVal, outVal = logic.Zero, logic.One
+		case logic.Or:
+			inVal, outVal = logic.One, logic.One
+		case logic.Nor:
+			inVal, outVal = logic.One, logic.Zero
+		default:
+			continue // XOR/XNOR/constants: no structural equivalence
+		}
+		oi, ok := index[Fault{Node: g.Out, Gate: netlist.NoGate, Stuck: outVal}]
+		if !ok {
+			continue
+		}
+		for pi, in := range g.In {
+			if ii, ok := inputFault(netlist.GateID(gi), int32(pi), in, inVal); ok {
+				union(oi, ii)
+			}
+		}
+	}
+	var out []Fault
+	for i, f := range faults {
+		if find(i) == i {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CollapsedList returns the equivalence-collapsed fault list of c.
+func CollapsedList(c *netlist.Circuit) []Fault {
+	return Collapse(c, List(c))
+}

@@ -1,0 +1,250 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// chain: a -> NOT n1 -> NOT n2 -> output. Single fanout everywhere.
+func chainCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString("chain", `
+INPUT(a)
+OUTPUT(n2)
+n1 = NOT(a)
+n2 = NOT(n1)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// fan: a feeds two AND gates; y1 = AND(a,b), y2 = AND(a,c).
+func fanCircuit(t *testing.T) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString("fan", `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y1)
+OUTPUT(y2)
+y1 = AND(a, b)
+y2 = AND(a, c)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestListChain(t *testing.T) {
+	c := chainCircuit(t)
+	fs := List(c)
+	// 3 nodes x 2 stems, no branches (all single fanout).
+	if len(fs) != 6 {
+		t.Fatalf("len(List) = %d, want 6", len(fs))
+	}
+	for _, f := range fs {
+		if !f.IsStem() {
+			t.Errorf("unexpected branch fault %v", f)
+		}
+	}
+}
+
+func TestListFanout(t *testing.T) {
+	c := fanCircuit(t)
+	fs := List(c)
+	// 5 nodes x 2 stems + 2 branch pins on a x 2 = 14.
+	if len(fs) != 14 {
+		t.Fatalf("len(List) = %d, want 14", len(fs))
+	}
+	branches := 0
+	a, _ := c.NodeByName("a")
+	for _, f := range fs {
+		if !f.IsStem() {
+			branches++
+			if f.Node != a {
+				t.Errorf("branch fault on %s, want only on a", c.NodeName(f.Node))
+			}
+		}
+	}
+	if branches != 4 {
+		t.Errorf("branch faults = %d, want 4", branches)
+	}
+}
+
+func TestListDeterministic(t *testing.T) {
+	c := fanCircuit(t)
+	a := List(c)
+	b := List(c)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault %d differs between runs", i)
+		}
+	}
+}
+
+func TestCollapseChain(t *testing.T) {
+	c := chainCircuit(t)
+	collapsed := Collapse(c, List(c))
+	// a/0 = n1/1 = n2/0 and a/1 = n1/0 = n2/1: exactly 2 classes.
+	if len(collapsed) != 2 {
+		t.Fatalf("collapsed = %d faults, want 2: %v", len(collapsed), collapsed)
+	}
+}
+
+func TestCollapseAnd(t *testing.T) {
+	c, err := bench.ParseString("and2", `
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = AND(a, b)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collapsed := Collapse(c, List(c))
+	// Full list: 6. a/0 = b/0 = y/0 collapses 3 into 1: total 4.
+	if len(collapsed) != 4 {
+		t.Fatalf("collapsed = %d faults, want 4: %v", len(collapsed), collapsed)
+	}
+}
+
+func TestCollapseNorWithBranches(t *testing.T) {
+	c, err := bench.ParseString("norf", `
+INPUT(a)
+INPUT(b)
+OUTPUT(y1)
+OUTPUT(y2)
+y1 = NOR(a, b)
+y2 = NOT(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := List(c)
+	collapsed := Collapse(c, full)
+	// a has fanout 2, so branch faults exist at both reading pins.
+	// Equivalences: branch(a->y1)/1 = b/1 = y1/0; branch(a->y2)/0 = y2/1;
+	// branch(a->y2)/1 = y2/0.
+	if len(collapsed) >= len(full) {
+		t.Fatal("collapse did not reduce the list")
+	}
+	// The stem faults on a must survive (no equivalence across branches).
+	a, _ := c.NodeByName("a")
+	stems := 0
+	for _, f := range collapsed {
+		if f.IsStem() && f.Node == a {
+			stems++
+		}
+	}
+	if stems != 2 {
+		t.Errorf("stem faults on a surviving = %d, want 2", stems)
+	}
+}
+
+func TestCollapseIsSubsetAndDeterministic(t *testing.T) {
+	c := fanCircuit(t)
+	full := List(c)
+	inFull := map[Fault]bool{}
+	for _, f := range full {
+		inFull[f] = true
+	}
+	col1 := Collapse(c, full)
+	col2 := Collapse(c, full)
+	if len(col1) != len(col2) {
+		t.Fatal("collapse nondeterministic")
+	}
+	for i, f := range col1 {
+		if !inFull[f] {
+			t.Errorf("collapsed fault %v not in full list", f)
+		}
+		if col2[i] != f {
+			t.Error("collapse order nondeterministic")
+		}
+	}
+}
+
+func TestSeenBy(t *testing.T) {
+	c := fanCircuit(t)
+	a, _ := c.NodeByName("a")
+	y1, _ := c.NodeByName("y1")
+	g1 := c.Nodes[y1].Driver
+	stem := Fault{Node: a, Gate: netlist.NoGate, Stuck: logic.One}
+	if stem.SeenBy(g1, 0, a, logic.Zero) != logic.One {
+		t.Error("stem fault not seen by gate pin")
+	}
+	branch := Fault{Node: a, Gate: g1, Pin: 0, Stuck: logic.One}
+	if branch.SeenBy(g1, 0, a, logic.Zero) != logic.One {
+		t.Error("branch fault not seen at its own pin")
+	}
+	y2, _ := c.NodeByName("y2")
+	g2 := c.Nodes[y2].Driver
+	if branch.SeenBy(g2, 0, a, logic.Zero) != logic.Zero {
+		t.Error("branch fault leaked to another gate")
+	}
+	if branch.SeenBy(g1, 1, a, logic.Zero) != logic.Zero {
+		t.Error("branch fault leaked to another pin")
+	}
+}
+
+func TestObserved(t *testing.T) {
+	c := fanCircuit(t)
+	y1, _ := c.NodeByName("y1")
+	stem := Fault{Node: y1, Gate: netlist.NoGate, Stuck: logic.Zero}
+	if stem.Observed(y1, logic.One) != logic.Zero {
+		t.Error("stem fault not observed at PO")
+	}
+	g := c.Nodes[y1].Driver
+	branch := Fault{Node: y1, Gate: g, Pin: 0, Stuck: logic.Zero}
+	if branch.Observed(y1, logic.One) != logic.One {
+		t.Error("branch fault wrongly observed at PO")
+	}
+}
+
+func TestStuckNode(t *testing.T) {
+	f := Fault{Node: 3, Gate: netlist.NoGate, Stuck: logic.One}
+	if v, ok := f.StuckNode(3); !ok || v != logic.One {
+		t.Error("StuckNode missed its own node")
+	}
+	if _, ok := f.StuckNode(4); ok {
+		t.Error("StuckNode matched wrong node")
+	}
+	b := Fault{Node: 3, Gate: 0, Pin: 0, Stuck: logic.One}
+	if _, ok := b.StuckNode(3); ok {
+		t.Error("branch fault reported as stuck node")
+	}
+}
+
+func TestNames(t *testing.T) {
+	c := fanCircuit(t)
+	a, _ := c.NodeByName("a")
+	y1, _ := c.NodeByName("y1")
+	g := c.Nodes[y1].Driver
+	stem := Fault{Node: a, Gate: netlist.NoGate, Stuck: logic.Zero}
+	if got := stem.Name(c); got != "a/SA0" {
+		t.Errorf("stem Name = %q", got)
+	}
+	branch := Fault{Node: a, Gate: g, Pin: 0, Stuck: logic.One}
+	if got := branch.Name(c); !strings.Contains(got, "a->y1.0/SA1") {
+		t.Errorf("branch Name = %q", got)
+	}
+	if stem.String() == "" || branch.String() == "" {
+		t.Error("String should not be empty")
+	}
+}
+
+func TestCollapsedListSmallerThanFull(t *testing.T) {
+	c := chainCircuit(t)
+	if len(CollapsedList(c)) >= len(List(c)) {
+		t.Error("CollapsedList did not shrink the chain fault list")
+	}
+}

@@ -1,0 +1,343 @@
+// Package implic implements the single-time-frame implication engine that
+// powers backward implications (Section 2 of the paper): given the partial
+// value assignment of one time frame and an additional asserted value
+// (typically a next-state variable set by state expansion at the following
+// time unit), it derives further values by sweeping the combinational
+// logic backward (outputs to inputs) and forward (inputs to outputs),
+// detecting conflicts along the way.
+//
+// Following the paper's implementation, implications inside a frame use
+// exactly two passes — one from outputs to inputs and one from inputs to
+// outputs — to keep computation time low. An event-driven fixpoint
+// schedule is available as an extension.
+package implic
+
+import (
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Frame is the mutable value assignment of one time frame of a (possibly
+// faulty) machine. Values are "effective": a stem-stuck node permanently
+// holds its stuck value, and branch faults are applied when gate pins read
+// their inputs.
+type Frame struct {
+	c    *netlist.Circuit
+	flt  *fault.Fault
+	vals []logic.Val
+
+	conflict     bool
+	conflictNode netlist.NodeID
+
+	inBuf []logic.Val
+
+	// changed logs nodes whose value became binary since New/Reset; it
+	// seeds the event-driven sweeps.
+	changed []netlist.NodeID
+	// inQ marks gates already enqueued in the active worklist.
+	inQ   []bool
+	queue []netlist.GateID
+}
+
+// noFault avoids nil checks on the hot path.
+var noFault = fault.Fault{Node: netlist.NoNode, Gate: netlist.NoGate}
+
+// New creates a frame from a base assignment (one value per node, as
+// produced by seqsim.EvalFrame with the same fault). The base is copied.
+// flt may be nil for a fault-free frame.
+func New(c *netlist.Circuit, flt *fault.Fault, base []logic.Val) *Frame {
+	if flt == nil {
+		flt = &noFault
+	}
+	vals := make([]logic.Val, len(base))
+	copy(vals, base)
+	return &Frame{
+		c: c, flt: flt, vals: vals,
+		conflictNode: netlist.NoNode,
+		inBuf:        make([]logic.Val, 8),
+		inQ:          make([]bool, c.NumGates()),
+	}
+}
+
+// Reset reinitializes the frame to a new base assignment, reusing storage.
+func (fr *Frame) Reset(base []logic.Val) {
+	copy(fr.vals, base)
+	fr.conflict = false
+	fr.conflictNode = netlist.NoNode
+	fr.changed = fr.changed[:0]
+	for i := range fr.inQ {
+		fr.inQ[i] = false
+	}
+	fr.queue = fr.queue[:0]
+}
+
+// Value returns the current effective value of node n.
+func (fr *Frame) Value(n netlist.NodeID) logic.Val { return fr.vals[n] }
+
+// Values returns the underlying value slice (read-only by convention).
+func (fr *Frame) Values() []logic.Val { return fr.vals }
+
+// Conflict reports whether any assignment or sweep found a contradiction.
+func (fr *Frame) Conflict() bool { return fr.conflict }
+
+// ConflictNode returns the node at which the first conflict was observed,
+// or netlist.NoNode.
+func (fr *Frame) ConflictNode() netlist.NodeID { return fr.conflictNode }
+
+// fail records the first conflict.
+func (fr *Frame) fail(n netlist.NodeID) {
+	if !fr.conflict {
+		fr.conflict = true
+		fr.conflictNode = n
+	}
+}
+
+// Assign merges value v into node n, returning false on conflict. A
+// binary assignment to a stem-stuck node conflicts unless it equals the
+// stuck value.
+func (fr *Frame) Assign(n netlist.NodeID, v logic.Val) bool {
+	if fr.conflict {
+		return false
+	}
+	merged, conflict := logic.Merge(fr.vals[n], v)
+	if conflict {
+		fr.fail(n)
+		return false
+	}
+	if merged != fr.vals[n] {
+		fr.vals[n] = merged
+		fr.changed = append(fr.changed, n)
+	}
+	return true
+}
+
+// seenInputs fills fr.inBuf with the values gate g's pins observe.
+func (fr *Frame) seenInputs(gi netlist.GateID, g *netlist.Gate) []logic.Val {
+	if cap(fr.inBuf) < len(g.In) {
+		fr.inBuf = make([]logic.Val, len(g.In))
+	}
+	in := fr.inBuf[:len(g.In)]
+	for pi, id := range g.In {
+		in[pi] = fr.flt.SeenBy(gi, int32(pi), id, fr.vals[id])
+	}
+	return in
+}
+
+// inferGate applies the backward inference rules at gate gi, assigning
+// any forced input values. It returns false on conflict.
+func (fr *Frame) inferGate(gi netlist.GateID) bool {
+	c := fr.c
+	g := &c.Gates[gi]
+	if _, stuck := fr.flt.StuckNode(g.Out); stuck {
+		// The driver of a stuck stem is unobservable: the demanded value
+		// on the stem says nothing about the driver's inputs.
+		return true
+	}
+	out := fr.vals[g.Out]
+	if out == logic.X {
+		return true
+	}
+	in := fr.seenInputs(gi, g)
+	forced, ok := logic.InferInputs(g.Op, out, in)
+	if !ok {
+		fr.fail(g.Out)
+		return false
+	}
+	for pi, fv := range forced {
+		if fv == logic.X {
+			continue
+		}
+		id := g.In[pi]
+		if fr.flt.Node == id && !fr.flt.IsStem() && fr.flt.Gate == gi && fr.flt.Pin == int32(pi) {
+			// The pin is stuck: a demanded value different from the stuck
+			// value can never be seen.
+			if fv != fr.flt.Stuck {
+				fr.fail(id)
+				return false
+			}
+			continue
+		}
+		if !fr.Assign(id, fv) {
+			return false
+		}
+	}
+	return true
+}
+
+// evalGateForward evaluates gate gi and merges its output value,
+// returning false on conflict.
+func (fr *Frame) evalGateForward(gi netlist.GateID) bool {
+	c := fr.c
+	g := &c.Gates[gi]
+	if _, stuck := fr.flt.StuckNode(g.Out); stuck {
+		return true
+	}
+	v := logic.Eval(g.Op, fr.seenInputs(gi, g))
+	if v == logic.X {
+		return true
+	}
+	return fr.Assign(g.Out, v)
+}
+
+// BackwardSweep performs one dense pass over every gate from outputs to
+// inputs (descending level order), applying the backward inference rules.
+// It is the reference implementation of the paper's outputs-to-inputs
+// pass; ImplyTwoPass uses the equivalent event-driven closure instead.
+func (fr *Frame) BackwardSweep() bool {
+	if fr.conflict {
+		return false
+	}
+	order := fr.c.Order
+	for k := len(order) - 1; k >= 0; k-- {
+		if !fr.inferGate(order[k]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForwardSweep performs one dense pass over every gate from inputs to
+// outputs (ascending level order), evaluating each gate and merging its
+// output value. It is the reference implementation of the paper's
+// inputs-to-outputs pass.
+func (fr *Frame) ForwardSweep() bool {
+	if fr.conflict {
+		return false
+	}
+	for _, gi := range fr.c.Order {
+		if !fr.evalGateForward(gi) {
+			return false
+		}
+	}
+	return true
+}
+
+// enq adds a gate to the active worklist once.
+func (fr *Frame) enq(g netlist.GateID) {
+	if !fr.inQ[g] {
+		fr.inQ[g] = true
+		fr.queue = append(fr.queue, g)
+	}
+}
+
+// closure drains the value-change log from *cursor onward, seeding gates
+// with seed and processing them with step until no further values change.
+// It returns false on conflict.
+func (fr *Frame) closure(cursor *int, seed func(netlist.NodeID), step func(netlist.GateID) bool) bool {
+	if fr.conflict {
+		return false
+	}
+	for {
+		for ; *cursor < len(fr.changed); *cursor++ {
+			seed(fr.changed[*cursor])
+		}
+		if len(fr.queue) == 0 {
+			return true
+		}
+		g := fr.queue[len(fr.queue)-1]
+		fr.queue = fr.queue[:len(fr.queue)-1]
+		fr.inQ[g] = false
+		if !step(g) {
+			fr.queue = fr.queue[:0]
+			for i := range fr.inQ {
+				fr.inQ[i] = false
+			}
+			return false
+		}
+	}
+}
+
+// backwardClosure computes the closure of the backward inference rules
+// over the changes logged since cursor: every gate whose output is newly
+// binary, or whose output is binary and gained a newly binary input, is
+// (re)processed until quiescence. The result contains every value a dense
+// backward sweep derives (and possibly more, since the closure does not
+// stop after a single pass).
+func (fr *Frame) backwardClosure(cursor *int) bool {
+	return fr.closure(cursor, func(n netlist.NodeID) {
+		if d := fr.c.Nodes[n].Driver; d != netlist.NoGate {
+			fr.enq(d)
+		}
+		for _, pin := range fr.c.Nodes[n].Fanouts {
+			if fr.vals[fr.c.Gates[pin.Gate].Out].IsBinary() {
+				fr.enq(pin.Gate)
+			}
+		}
+	}, fr.inferGate)
+}
+
+// forwardClosure computes the closure of forward evaluation over the
+// changes logged since cursor: every gate reading a newly binary node is
+// re-evaluated, cascading until quiescence.
+func (fr *Frame) forwardClosure(cursor *int) bool {
+	return fr.closure(cursor, func(n netlist.NodeID) {
+		for _, pin := range fr.c.Nodes[n].Fanouts {
+			fr.enq(pin.Gate)
+		}
+	}, fr.evalGateForward)
+}
+
+// ImplyTwoPass runs the paper's implication schedule — implications from
+// outputs to inputs, then from inputs to outputs — as two event-driven
+// closures over the cone of the asserted values. It derives a superset of
+// the values of the paper's dense two-sweep schedule at a cost
+// proportional to the affected cone rather than the whole circuit, and
+// returns false on conflict.
+func (fr *Frame) ImplyTwoPass() bool {
+	back, fwd := 0, 0
+	return fr.backwardClosure(&back) && fr.forwardClosure(&fwd)
+}
+
+// ImplyFixpoint alternates backward and forward closures until no value
+// changes or maxRounds round-trips have run (extension over the paper's
+// two-pass schedule). It returns false on conflict.
+func (fr *Frame) ImplyFixpoint(maxRounds int) bool {
+	back, fwd := 0, 0
+	for round := 0; round < maxRounds; round++ {
+		before := len(fr.changed)
+		if !fr.backwardClosure(&back) || !fr.forwardClosure(&fwd) {
+			return false
+		}
+		if len(fr.changed) == before {
+			return true
+		}
+	}
+	return !fr.conflict
+}
+
+// Output returns the observed value of primary output j.
+func (fr *Frame) Output(j int) logic.Val {
+	return fr.vals[fr.c.Outputs[j]]
+}
+
+// NextState returns the effective value latched by flip-flop i: the value
+// of its D node, observed through any stem fault on its Q node.
+func (fr *Frame) NextState(i int) logic.Val {
+	ff := fr.c.FFs[i]
+	return fr.flt.Observed(ff.Q, fr.vals[ff.D])
+}
+
+// PresentState returns the effective value of flip-flop i's Q node in this
+// frame.
+func (fr *Frame) PresentState(i int) logic.Val {
+	return fr.vals[fr.c.FFs[i].Q]
+}
+
+// AssignNextState asserts that flip-flop i latches value v at the end of
+// this frame — the backward-implication entry point: setting present-state
+// variable y_i = v at time u+1 sets next-state variable Y_i = v here.
+// Asserting against a stem fault on the Q node conflicts unless v equals
+// the stuck value (the latched value is unobservable then, so the
+// assertion constrains nothing).
+func (fr *Frame) AssignNextState(i int, v logic.Val) bool {
+	ff := fr.c.FFs[i]
+	if sv, stuck := fr.flt.StuckNode(ff.Q); stuck {
+		if v.IsBinary() && v != sv {
+			fr.fail(ff.Q)
+			return false
+		}
+		return true
+	}
+	return fr.Assign(ff.D, v)
+}

@@ -1,0 +1,408 @@
+// Package logic implements the three-valued (0, 1, X) logic kernel used
+// throughout the simulator: forward gate evaluation, backward (output to
+// input) inference, and value merging with conflict detection.
+//
+// The three-valued algebra is the classic one used in sequential-circuit
+// fault simulation [Abramovici et al., Digital Systems Testing]: X denotes
+// an unknown binary value, so an operator returns a binary value only when
+// every completion of the unknown inputs yields that value.
+package logic
+
+import "fmt"
+
+// Val is a three-valued logic value.
+type Val uint8
+
+const (
+	// Zero is logic 0.
+	Zero Val = 0
+	// One is logic 1.
+	One Val = 1
+	// X is the unknown value: the line carries either 0 or 1, but which
+	// one is not determined by the information at hand.
+	X Val = 2
+)
+
+// String returns "0", "1" or "x".
+func (v Val) String() string {
+	switch v {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	case X:
+		return "x"
+	}
+	return fmt.Sprintf("Val(%d)", uint8(v))
+}
+
+// IsBinary reports whether v is a fully specified (0 or 1) value.
+func (v Val) IsBinary() bool { return v == Zero || v == One }
+
+// Not returns the complement of v; the complement of X is X.
+func (v Val) Not() Val {
+	switch v {
+	case Zero:
+		return One
+	case One:
+		return Zero
+	}
+	return X
+}
+
+// FromBool converts a Go bool to a binary Val.
+func FromBool(b bool) Val {
+	if b {
+		return One
+	}
+	return Zero
+}
+
+// Merge combines two pieces of information about the same line. X carries
+// no information, so merging with X returns the other value. Merging two
+// equal binary values returns that value. Merging 0 with 1 is a conflict.
+func Merge(a, b Val) (v Val, conflict bool) {
+	switch {
+	case a == X:
+		return b, false
+	case b == X:
+		return a, false
+	case a == b:
+		return a, false
+	}
+	return X, true
+}
+
+// Op identifies a combinational gate operator.
+type Op uint8
+
+const (
+	// Buf is a single-input buffer (identity).
+	Buf Op = iota
+	// Not is a single-input inverter.
+	Not
+	// And is a multi-input AND.
+	And
+	// Nand is a multi-input NAND.
+	Nand
+	// Or is a multi-input OR.
+	Or
+	// Nor is a multi-input NOR.
+	Nor
+	// Xor is a multi-input XOR (odd parity).
+	Xor
+	// Xnor is a multi-input XNOR (even parity).
+	Xnor
+	// Const0 is a zero-input constant-0 source.
+	Const0
+	// Const1 is a zero-input constant-1 source.
+	Const1
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	Buf:    "BUF",
+	Not:    "NOT",
+	And:    "AND",
+	Nand:   "NAND",
+	Or:     "OR",
+	Nor:    "NOR",
+	Xor:    "XOR",
+	Xnor:   "XNOR",
+	Const0: "CONST0",
+	Const1: "CONST1",
+}
+
+// String returns the conventional upper-case name of the operator.
+func (op Op) String() string {
+	if int(op) < len(opNames) {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined operator.
+func (op Op) Valid() bool { return op < numOps }
+
+// MinInputs returns the smallest legal input count for op.
+func (op Op) MinInputs() int {
+	switch op {
+	case Const0, Const1:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return 1
+	}
+}
+
+// MaxInputs returns the largest legal input count for op, or -1 when the
+// operator accepts any number of inputs.
+func (op Op) MaxInputs() int {
+	switch op {
+	case Const0, Const1:
+		return 0
+	case Buf, Not:
+		return 1
+	default:
+		return -1
+	}
+}
+
+// Inverting reports whether the operator complements its "base" function
+// (NAND vs AND, NOR vs OR, XNOR vs XOR, NOT vs BUF).
+func (op Op) Inverting() bool {
+	switch op {
+	case Not, Nand, Nor, Xnor:
+		return true
+	}
+	return false
+}
+
+// controlling returns the controlling input value for AND/NAND/OR/NOR
+// operators and ok=true; for all other operators ok=false.
+func (op Op) controlling() (c Val, ok bool) {
+	switch op {
+	case And, Nand:
+		return Zero, true
+	case Or, Nor:
+		return One, true
+	}
+	return X, false
+}
+
+// Eval computes the three-valued output of a gate with operator op and the
+// given input values. It panics if the input count is illegal for op; the
+// netlist layer validates arities before simulation.
+func Eval(op Op, in []Val) Val {
+	switch op {
+	case Const0:
+		return Zero
+	case Const1:
+		return One
+	case Buf:
+		return in[0]
+	case Not:
+		return in[0].Not()
+	case And, Nand, Or, Nor:
+		c, _ := op.controlling()
+		sawX := false
+		for _, v := range in {
+			if v == c {
+				// A controlling input decides the output regardless of X's.
+				return xorVal(c, op.Inverting())
+			}
+			if v == X {
+				sawX = true
+			}
+		}
+		if sawX {
+			return X
+		}
+		return xorVal(c.Not(), op.Inverting())
+	case Xor, Xnor:
+		parity := false
+		for _, v := range in {
+			switch v {
+			case X:
+				return X
+			case One:
+				parity = !parity
+			}
+		}
+		out := FromBool(parity)
+		if op.Inverting() {
+			out = out.Not()
+		}
+		return out
+	}
+	panic(fmt.Sprintf("logic: Eval of invalid operator %v", op))
+}
+
+// xorVal complements v when inv is true.
+func xorVal(v Val, inv bool) Val {
+	if inv {
+		return v.Not()
+	}
+	return v
+}
+
+// InferInputs computes the input values forced by knowing that a gate with
+// operator op produces output out, given the currently known input values
+// in. The returned slice has len(in) entries; an entry of X means the
+// corresponding input is not forced. Inputs that are already binary in
+// `in` are never reported (there is nothing new to learn about them).
+//
+// ok is false when out is impossible for any completion of the unknown
+// inputs — a conflict. Forward evaluation would find the same conflict,
+// but detecting it here lets a backward sweep stop early.
+//
+// The rules are the classic backward-implication rules:
+//
+//   - BUF/NOT: the single input is forced to out (complemented for NOT).
+//   - AND/NAND/OR/NOR with a non-controlled output value: every input is
+//     forced to the non-controlling value.
+//   - AND/NAND/OR/NOR with a controlled output value: if exactly one input
+//     is not known to be non-controlling, that input is forced to the
+//     controlling value; if all inputs are known non-controlling, conflict.
+//   - XOR/XNOR: if all inputs but one are binary, the remaining input is
+//     forced to the parity-completing value; if all are binary, the output
+//     is checked for consistency.
+//   - CONST0/CONST1: conflict when out differs from the constant.
+//
+// out must be binary; calling with out == X returns all-X, true.
+func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
+	forced = make([]Val, len(in))
+	for i := range forced {
+		forced[i] = X
+	}
+	if out == X {
+		return forced, true
+	}
+	switch op {
+	case Const0:
+		return forced, out == Zero
+	case Const1:
+		return forced, out == One
+	case Buf, Not:
+		want := out
+		if op == Not {
+			want = out.Not()
+		}
+		switch in[0] {
+		case X:
+			forced[0] = want
+			return forced, true
+		case want:
+			return forced, true
+		}
+		return forced, false
+	case And, Nand, Or, Nor:
+		c, _ := op.controlling()
+		nc := c.Not()
+		// base is the output value the gate produces when some input is
+		// controlling.
+		controlled := xorVal(c, op.Inverting())
+		if out != controlled {
+			// Non-controlled output: every input must be non-controlling.
+			for i, v := range in {
+				switch v {
+				case X:
+					forced[i] = nc
+				case c:
+					return forced, false
+				}
+			}
+			return forced, true
+		}
+		// Controlled output: at least one input is controlling. Forcing is
+		// possible only when exactly one candidate remains.
+		candidate := -1
+		for i, v := range in {
+			if v == c {
+				// Already satisfied; nothing is forced.
+				return forced, true
+			}
+			if v == X {
+				if candidate >= 0 {
+					// Two or more unknown inputs: no single input forced.
+					return forced, true
+				}
+				candidate = i
+			}
+		}
+		if candidate < 0 {
+			// All inputs known non-controlling but output is controlled.
+			return forced, false
+		}
+		forced[candidate] = c
+		return forced, true
+	case Xor, Xnor:
+		parity := op == Xnor // start from the inversion so `parity` tracks the required remaining parity
+		wantOdd := out == One
+		unknown := -1
+		for i, v := range in {
+			switch v {
+			case X:
+				if unknown >= 0 {
+					return forced, true // two or more unknowns: nothing forced
+				}
+				unknown = i
+			case One:
+				parity = !parity
+			}
+		}
+		if unknown < 0 {
+			return forced, parity == wantOdd
+		}
+		forced[unknown] = FromBool(parity != wantOdd)
+		return forced, true
+	}
+	panic(fmt.Sprintf("logic: InferInputs of invalid operator %v", op))
+}
+
+// ParseVal parses a single pattern character: '0', '1', 'x' or 'X'.
+func ParseVal(c byte) (Val, error) {
+	switch c {
+	case '0':
+		return Zero, nil
+	case '1':
+		return One, nil
+	case 'x', 'X':
+		return X, nil
+	}
+	return X, fmt.Errorf("logic: invalid value character %q", c)
+}
+
+// FormatVals renders a slice of values as a compact pattern string such as
+// "10x1".
+func FormatVals(vs []Val) string {
+	buf := make([]byte, len(vs))
+	for i, v := range vs {
+		switch v {
+		case Zero:
+			buf[i] = '0'
+		case One:
+			buf[i] = '1'
+		default:
+			buf[i] = 'x'
+		}
+	}
+	return string(buf)
+}
+
+// ParseVals parses a pattern string such as "10x1" into values.
+func ParseVals(s string) ([]Val, error) {
+	vs := make([]Val, len(s))
+	for i := 0; i < len(s); i++ {
+		v, err := ParseVal(s[i])
+		if err != nil {
+			return nil, err
+		}
+		vs[i] = v
+	}
+	return vs, nil
+}
+
+// CountBinary returns the number of fully specified values in vs.
+func CountBinary(vs []Val) int {
+	n := 0
+	for _, v := range vs {
+		if v.IsBinary() {
+			n++
+		}
+	}
+	return n
+}
+
+// CountX returns the number of unspecified values in vs.
+func CountX(vs []Val) int {
+	n := 0
+	for _, v := range vs {
+		if v == X {
+			n++
+		}
+	}
+	return n
+}

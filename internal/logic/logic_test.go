@@ -1,0 +1,503 @@
+package logic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allVals = []Val{Zero, One, X}
+
+func TestValString(t *testing.T) {
+	cases := map[Val]string{Zero: "0", One: "1", X: "x", Val(7): "Val(7)"}
+	for v, want := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("Val(%d).String() = %q, want %q", uint8(v), got, want)
+		}
+	}
+}
+
+func TestNot(t *testing.T) {
+	if Zero.Not() != One || One.Not() != Zero || X.Not() != X {
+		t.Errorf("Not truth table wrong: 0->%v 1->%v x->%v", Zero.Not(), One.Not(), X.Not())
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	if !Zero.IsBinary() || !One.IsBinary() || X.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+}
+
+func TestFromBool(t *testing.T) {
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Error("FromBool wrong")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	type mc struct {
+		a, b, want Val
+		conflict   bool
+	}
+	cases := []mc{
+		{X, X, X, false},
+		{X, Zero, Zero, false},
+		{X, One, One, false},
+		{Zero, X, Zero, false},
+		{One, X, One, false},
+		{Zero, Zero, Zero, false},
+		{One, One, One, false},
+		{Zero, One, X, true},
+		{One, Zero, X, true},
+	}
+	for _, c := range cases {
+		got, conflict := Merge(c.a, c.b)
+		if conflict != c.conflict || (!conflict && got != c.want) {
+			t.Errorf("Merge(%v,%v) = %v,%v; want %v,%v", c.a, c.b, got, conflict, c.want, c.conflict)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	want := map[Op]string{
+		Buf: "BUF", Not: "NOT", And: "AND", Nand: "NAND",
+		Or: "OR", Nor: "NOR", Xor: "XOR", Xnor: "XNOR",
+		Const0: "CONST0", Const1: "CONST1",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), op.String(), s)
+		}
+	}
+	if Op(200).String() != "Op(200)" {
+		t.Errorf("invalid op string = %q", Op(200).String())
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for op := Buf; op < numOps; op++ {
+		if !op.Valid() {
+			t.Errorf("%v should be valid", op)
+		}
+	}
+	if Op(numOps).Valid() || Op(255).Valid() {
+		t.Error("out-of-range op reported valid")
+	}
+}
+
+func TestOpArity(t *testing.T) {
+	if Const0.MinInputs() != 0 || Const0.MaxInputs() != 0 {
+		t.Error("Const0 arity wrong")
+	}
+	if Not.MinInputs() != 1 || Not.MaxInputs() != 1 {
+		t.Error("Not arity wrong")
+	}
+	if And.MinInputs() != 1 || And.MaxInputs() != -1 {
+		t.Error("And arity wrong")
+	}
+}
+
+func TestOpInverting(t *testing.T) {
+	inv := map[Op]bool{
+		Buf: false, Not: true, And: false, Nand: true,
+		Or: false, Nor: true, Xor: false, Xnor: true,
+		Const0: false, Const1: false,
+	}
+	for op, want := range inv {
+		if op.Inverting() != want {
+			t.Errorf("%v.Inverting() = %v, want %v", op, op.Inverting(), want)
+		}
+	}
+}
+
+// evalRef is a reference three-valued evaluation by enumerating all binary
+// completions of the X inputs: the result is binary b iff every completion
+// evaluates to b.
+func evalRef(op Op, in []Val) Val {
+	xs := []int{}
+	for i, v := range in {
+		if v == X {
+			xs = append(xs, i)
+		}
+	}
+	work := make([]Val, len(in))
+	copy(work, in)
+	var out Val
+	first := true
+	for m := 0; m < 1<<len(xs); m++ {
+		for k, idx := range xs {
+			work[idx] = FromBool(m&(1<<k) != 0)
+		}
+		v := evalBinary(op, work)
+		if first {
+			out, first = v, false
+		} else if v != out {
+			return X
+		}
+	}
+	return out
+}
+
+// evalBinary evaluates a gate whose inputs are all binary.
+func evalBinary(op Op, in []Val) Val {
+	switch op {
+	case Const0:
+		return Zero
+	case Const1:
+		return One
+	case Buf:
+		return in[0]
+	case Not:
+		return in[0].Not()
+	case And, Nand:
+		out := One
+		for _, v := range in {
+			if v == Zero {
+				out = Zero
+				break
+			}
+		}
+		if op == Nand {
+			out = out.Not()
+		}
+		return out
+	case Or, Nor:
+		out := Zero
+		for _, v := range in {
+			if v == One {
+				out = One
+				break
+			}
+		}
+		if op == Nor {
+			out = out.Not()
+		}
+		return out
+	case Xor, Xnor:
+		parity := false
+		for _, v := range in {
+			if v == One {
+				parity = !parity
+			}
+		}
+		out := FromBool(parity)
+		if op == Xnor {
+			out = out.Not()
+		}
+		return out
+	}
+	panic("unreachable")
+}
+
+// enumInputs calls f with every combination of n three-valued inputs.
+func enumInputs(n int, f func(in []Val)) {
+	in := make([]Val, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			f(in)
+			return
+		}
+		for _, v := range allVals {
+			in[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func TestEvalExhaustiveAgainstReference(t *testing.T) {
+	ops := []Op{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for _, op := range ops {
+		maxN := 4
+		if op == Buf || op == Not {
+			maxN = 1
+		}
+		for n := 1; n <= maxN; n++ {
+			enumInputs(n, func(in []Val) {
+				got := Eval(op, in)
+				want := evalRef(op, in)
+				if got != want {
+					t.Fatalf("Eval(%v, %v) = %v, want %v", op, in, got, want)
+				}
+			})
+		}
+	}
+}
+
+func TestEvalConst(t *testing.T) {
+	if Eval(Const0, nil) != Zero || Eval(Const1, nil) != One {
+		t.Error("constant evaluation wrong")
+	}
+}
+
+func TestEvalPanicsOnInvalidOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Eval(invalid op) did not panic")
+		}
+	}()
+	Eval(Op(99), []Val{Zero})
+}
+
+func TestInferInputsPanicsOnInvalidOp(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("InferInputs(invalid op) did not panic")
+		}
+	}()
+	InferInputs(Op(99), Zero, []Val{Zero})
+}
+
+// inferRef computes the reference forced values for InferInputs by
+// enumeration: input i is forced to b iff some completion of the X inputs
+// produces output out, and every completion producing out has input i = b.
+// ok is false iff no completion produces out.
+func inferRef(op Op, out Val, in []Val) (forced []Val, ok bool) {
+	forced = make([]Val, len(in))
+	for i := range forced {
+		forced[i] = X
+	}
+	if out == X {
+		return forced, true
+	}
+	xs := []int{}
+	for i, v := range in {
+		if v == X {
+			xs = append(xs, i)
+		}
+	}
+	work := make([]Val, len(in))
+	seen := false
+	value := make([]Val, len(in))
+	for m := 0; m < 1<<len(xs); m++ {
+		copy(work, in)
+		for k, idx := range xs {
+			work[idx] = FromBool(m&(1<<k) != 0)
+		}
+		if evalBinary(op, work) != out {
+			continue
+		}
+		if !seen {
+			copy(value, work)
+			seen = true
+			continue
+		}
+		for i := range work {
+			if work[i] != value[i] {
+				value[i] = X
+			}
+		}
+	}
+	if !seen {
+		return forced, false
+	}
+	for _, idx := range xs {
+		if value[idx].IsBinary() {
+			forced[idx] = value[idx]
+		}
+	}
+	return forced, true
+}
+
+// TestInferInputsSoundExhaustive checks that InferInputs never forces a
+// value the reference does not force (soundness), and that conflicts are
+// reported exactly when no completion exists.
+func TestInferInputsSoundExhaustive(t *testing.T) {
+	ops := []Op{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for _, op := range ops {
+		maxN := 4
+		if op == Buf || op == Not {
+			maxN = 1
+		}
+		for n := 1; n <= maxN; n++ {
+			enumInputs(n, func(in []Val) {
+				for _, out := range []Val{Zero, One} {
+					forced, ok := InferInputs(op, out, in)
+					refForced, refOK := inferRef(op, out, in)
+					if ok != refOK {
+						t.Fatalf("InferInputs(%v, out=%v, %v) ok=%v, reference ok=%v",
+							op, out, in, ok, refOK)
+					}
+					if !ok {
+						return
+					}
+					for i := range forced {
+						if forced[i] != X && forced[i] != refForced[i] {
+							t.Fatalf("InferInputs(%v, out=%v, %v) forces in[%d]=%v; reference says %v",
+								op, out, in, i, forced[i], refForced[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestInferInputsCompleteForPrimitive checks the single-pass rules are
+// complete for AND/OR families and inverters: whenever the reference
+// forces an unknown input, InferInputs forces it too. (For XOR with two or
+// more unknowns nothing can be forced, so completeness holds trivially.)
+func TestInferInputsCompleteForPrimitive(t *testing.T) {
+	ops := []Op{Buf, Not, And, Nand, Or, Nor, Xor, Xnor}
+	for _, op := range ops {
+		maxN := 4
+		if op == Buf || op == Not {
+			maxN = 1
+		}
+		for n := 1; n <= maxN; n++ {
+			enumInputs(n, func(in []Val) {
+				for _, out := range []Val{Zero, One} {
+					refForced, refOK := inferRef(op, out, in)
+					if !refOK {
+						return
+					}
+					forced, _ := InferInputs(op, out, in)
+					for i := range refForced {
+						if refForced[i] != X && forced[i] != refForced[i] {
+							t.Fatalf("InferInputs(%v, out=%v, %v) misses forced in[%d]=%v (got %v)",
+								op, out, in, i, refForced[i], forced[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestInferInputsXOutput(t *testing.T) {
+	forced, ok := InferInputs(And, X, []Val{X, X})
+	if !ok {
+		t.Fatal("InferInputs with X output reported conflict")
+	}
+	for _, v := range forced {
+		if v != X {
+			t.Fatal("InferInputs with X output forced a value")
+		}
+	}
+}
+
+func TestInferInputsConst(t *testing.T) {
+	if _, ok := InferInputs(Const0, Zero, nil); !ok {
+		t.Error("Const0 out=0 should be consistent")
+	}
+	if _, ok := InferInputs(Const0, One, nil); ok {
+		t.Error("Const0 out=1 should conflict")
+	}
+	if _, ok := InferInputs(Const1, One, nil); !ok {
+		t.Error("Const1 out=1 should be consistent")
+	}
+	if _, ok := InferInputs(Const1, Zero, nil); ok {
+		t.Error("Const1 out=0 should conflict")
+	}
+}
+
+// TestEvalMonotone checks the fundamental monotonicity property of
+// three-valued simulation: specifying an X input can never change a binary
+// output value, only refine X outputs.
+func TestEvalMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ops := []Op{And, Nand, Or, Nor, Xor, Xnor}
+	for trial := 0; trial < 2000; trial++ {
+		op := ops[rng.Intn(len(ops))]
+		n := 1 + rng.Intn(5)
+		in := make([]Val, n)
+		for i := range in {
+			in[i] = allVals[rng.Intn(3)]
+		}
+		base := Eval(op, in)
+		// Refine one X input, if any.
+		for i, v := range in {
+			if v != X {
+				continue
+			}
+			for _, b := range []Val{Zero, One} {
+				refined := make([]Val, n)
+				copy(refined, in)
+				refined[i] = b
+				got := Eval(op, refined)
+				if base.IsBinary() && got != base {
+					t.Fatalf("Eval(%v, %v)=%v but refining in[%d]=%v gives %v",
+						op, in, base, i, b, got)
+				}
+			}
+		}
+	}
+}
+
+func TestParseVal(t *testing.T) {
+	for c, want := range map[byte]Val{'0': Zero, '1': One, 'x': X, 'X': X} {
+		got, err := ParseVal(c)
+		if err != nil || got != want {
+			t.Errorf("ParseVal(%q) = %v,%v; want %v", c, got, err, want)
+		}
+	}
+	if _, err := ParseVal('?'); err == nil {
+		t.Error("ParseVal('?') should fail")
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	f := func(raw []byte) bool {
+		vs := make([]Val, len(raw))
+		for i, b := range raw {
+			vs[i] = Val(b % 3)
+		}
+		s := FormatVals(vs)
+		back, err := ParseVals(s)
+		if err != nil || len(back) != len(vs) {
+			return false
+		}
+		for i := range vs {
+			if back[i] != vs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValsError(t *testing.T) {
+	if _, err := ParseVals("10?1"); err == nil {
+		t.Error("ParseVals with bad character should fail")
+	}
+}
+
+func TestCounts(t *testing.T) {
+	vs := []Val{Zero, One, X, X, One}
+	if CountBinary(vs) != 3 {
+		t.Errorf("CountBinary = %d, want 3", CountBinary(vs))
+	}
+	if CountX(vs) != 2 {
+		t.Errorf("CountX = %d, want 2", CountX(vs))
+	}
+}
+
+// TestMergeCommutativeAssociative is a property test: Merge is commutative,
+// and when no conflicts arise it is associative with identity X.
+func TestMergeCommutativeAssociative(t *testing.T) {
+	for _, a := range allVals {
+		for _, b := range allVals {
+			ab, cab := Merge(a, b)
+			ba, cba := Merge(b, a)
+			if ab != ba || cab != cba {
+				t.Fatalf("Merge not commutative for %v,%v", a, b)
+			}
+			for _, c := range allVals {
+				l, cl := Merge(ab, c)
+				r0, cr0 := Merge(b, c)
+				r, cr := Merge(a, r0)
+				if cab || cl || cr0 || cr {
+					continue // conflicts collapse the comparison
+				}
+				if l != r {
+					t.Fatalf("Merge not associative for %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package netlist defines the gate-level model of a synchronous sequential
+// circuit: named signal nodes, combinational gates over those nodes,
+// primary inputs and outputs, and D flip-flops connecting a next-state
+// node (the D input) to a present-state node (the Q output).
+//
+// The model follows the ISCAS-89 structural conventions: the circuit is a
+// Huffman machine — a combinational network whose inputs are the primary
+// inputs plus the flip-flop outputs (present-state variables y_i) and
+// whose outputs are the primary outputs plus the flip-flop D inputs
+// (next-state variables Y_i).
+package netlist
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// NodeID identifies a signal node within a circuit.
+type NodeID int32
+
+// GateID identifies a gate within a circuit.
+type GateID int32
+
+// NoGate marks the absence of a driving gate.
+const NoGate GateID = -1
+
+// NoNode marks an invalid node reference.
+const NoNode NodeID = -1
+
+// NodeKind classifies how a node is driven.
+type NodeKind uint8
+
+const (
+	// KindInput is a primary input.
+	KindInput NodeKind = iota
+	// KindState is a flip-flop output (present-state variable).
+	KindState
+	// KindGate is a combinational gate output.
+	KindGate
+)
+
+// String returns a short name for the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindState:
+		return "state"
+	case KindGate:
+		return "gate"
+	}
+	return fmt.Sprintf("NodeKind(%d)", uint8(k))
+}
+
+// Node is a named signal in the circuit.
+type Node struct {
+	Name string
+	Kind NodeKind
+	// Driver is the gate driving this node, or NoGate for inputs and
+	// state nodes.
+	Driver GateID
+	// Fanouts lists every gate input pin reading this node.
+	Fanouts []Pin
+	// IsOutput reports whether the node is a primary output.
+	IsOutput bool
+	// FF is the index into Circuit.FFs of the flip-flop this node is the
+	// present-state (Q) node of, or -1.
+	FF int32
+	// DOf is the index into Circuit.FFs of the flip-flop this node is the
+	// next-state (D input) node of, or -1. A node can simultaneously feed
+	// a flip-flop and combinational fanouts.
+	DOf int32
+}
+
+// Pin identifies one input pin of one gate.
+type Pin struct {
+	Gate GateID
+	// Input is the pin position within the gate's input list.
+	Input int32
+}
+
+// Gate is a combinational gate.
+type Gate struct {
+	Op  logic.Op
+	Out NodeID
+	In  []NodeID
+	// Level is the topological level of the gate: 1 + max level of its
+	// input nodes, where input and state nodes have level 0.
+	Level int32
+}
+
+// FF is a D flip-flop: on each clock edge the value at D becomes the value
+// at Q (the present-state node) for the next time frame.
+type FF struct {
+	// Q is the present-state node (y_i).
+	Q NodeID
+	// D is the next-state node (Y_i).
+	D NodeID
+	// Init is the power-up value; logic.X for the standard unknown
+	// power-up state used throughout the paper.
+	Init logic.Val
+}
+
+// Circuit is an immutable compiled circuit. Build one with a Builder.
+type Circuit struct {
+	Name  string
+	Nodes []Node
+	Gates []Gate
+	// Inputs lists the primary input nodes in declaration order.
+	Inputs []NodeID
+	// Outputs lists the primary output nodes in declaration order.
+	Outputs []NodeID
+	// FFs lists the flip-flops in declaration order.
+	FFs []FF
+	// Order lists all gates in ascending level order; simulating gates in
+	// this order computes every node value in one pass.
+	Order []GateID
+
+	byName map[string]NodeID
+	// MaxLevel is the largest gate level.
+	MaxLevel int32
+}
+
+// NumNodes returns the number of signal nodes.
+func (c *Circuit) NumNodes() int { return len(c.Nodes) }
+
+// NumGates returns the number of combinational gates.
+func (c *Circuit) NumGates() int { return len(c.Gates) }
+
+// NumInputs returns the number of primary inputs.
+func (c *Circuit) NumInputs() int { return len(c.Inputs) }
+
+// NumOutputs returns the number of primary outputs.
+func (c *Circuit) NumOutputs() int { return len(c.Outputs) }
+
+// NumFFs returns the number of flip-flops.
+func (c *Circuit) NumFFs() int { return len(c.FFs) }
+
+// NodeByName returns the node with the given name.
+func (c *Circuit) NodeByName(name string) (NodeID, bool) {
+	id, ok := c.byName[name]
+	return id, ok
+}
+
+// NodeName returns the name of node id.
+func (c *Circuit) NodeName(id NodeID) string { return c.Nodes[id].Name }
+
+// FanoutCount returns the total number of readers of a node: gate input
+// pins, plus one if the node is a primary output, plus one if it is a
+// flip-flop D input. Nodes with FanoutCount > 1 have distinguishable
+// fanout branches for fault modeling.
+func (c *Circuit) FanoutCount(id NodeID) int {
+	n := len(c.Nodes[id].Fanouts)
+	if c.Nodes[id].IsOutput {
+		n++
+	}
+	if c.Nodes[id].DOf >= 0 {
+		n++
+	}
+	return n
+}
+
+// Stats summarizes circuit size.
+type Stats struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	FFs     int
+	Gates   int
+	Nodes   int
+	Levels  int
+}
+
+// Stats returns size statistics for the circuit.
+func (c *Circuit) Stats() Stats {
+	return Stats{
+		Name:    c.Name,
+		Inputs:  len(c.Inputs),
+		Outputs: len(c.Outputs),
+		FFs:     len(c.FFs),
+		Gates:   len(c.Gates),
+		Nodes:   len(c.Nodes),
+		Levels:  int(c.MaxLevel),
+	}
+}
+
+// String renders the statistics on one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d PIs, %d POs, %d FFs, %d gates, %d levels",
+		s.Name, s.Inputs, s.Outputs, s.FFs, s.Gates, s.Levels)
+}
+
+// Builder incrementally constructs a Circuit. Signals may be referenced
+// before they are defined, which the ISCAS-89 textual format requires.
+type Builder struct {
+	name   string
+	nodes  []Node
+	gates  []Gate
+	inputs []NodeID
+	output []NodeID
+	ffs    []FF
+	byName map[string]NodeID
+	// defined tracks which node IDs have received a driver/role.
+	defined []bool
+	err     error
+}
+
+// NewBuilder returns a Builder for a circuit with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, byName: make(map[string]NodeID)}
+}
+
+// fail records the first construction error.
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("netlist %s: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Signal returns the node with the given name, creating an undefined
+// placeholder if it does not exist yet.
+func (b *Builder) Signal(name string) NodeID {
+	if id, ok := b.byName[name]; ok {
+		return id
+	}
+	id := NodeID(len(b.nodes))
+	b.nodes = append(b.nodes, Node{Name: name, Kind: KindGate, Driver: NoGate, FF: -1, DOf: -1})
+	b.defined = append(b.defined, false)
+	b.byName[name] = id
+	return id
+}
+
+// define marks the node as having a role, failing on redefinition.
+func (b *Builder) define(id NodeID, what string) {
+	if b.defined[id] {
+		b.fail("signal %q defined twice (%s)", b.nodes[id].Name, what)
+		return
+	}
+	b.defined[id] = true
+}
+
+// Input declares a primary input and returns its node.
+func (b *Builder) Input(name string) NodeID {
+	id := b.Signal(name)
+	b.define(id, "input")
+	b.nodes[id].Kind = KindInput
+	b.inputs = append(b.inputs, id)
+	return id
+}
+
+// Output declares the named signal as a primary output. The signal may be
+// defined before or after this call.
+func (b *Builder) Output(name string) NodeID {
+	id := b.Signal(name)
+	if b.nodes[id].IsOutput {
+		b.fail("signal %q declared OUTPUT twice", name)
+	}
+	b.nodes[id].IsOutput = true
+	b.output = append(b.output, id)
+	return id
+}
+
+// Gate defines the named signal as the output of a gate with operator op
+// and the given input signals, returning the output node.
+func (b *Builder) Gate(op logic.Op, name string, in ...NodeID) NodeID {
+	out := b.Signal(name)
+	b.define(out, op.String())
+	if !op.Valid() {
+		b.fail("gate %q has invalid operator", name)
+		return out
+	}
+	if n := len(in); n < op.MinInputs() || (op.MaxInputs() >= 0 && n > op.MaxInputs()) {
+		b.fail("gate %q: %v cannot take %d inputs", name, op, len(in))
+		return out
+	}
+	g := GateID(len(b.gates))
+	ins := make([]NodeID, len(in))
+	copy(ins, in)
+	b.gates = append(b.gates, Gate{Op: op, Out: out, In: ins})
+	b.nodes[out].Kind = KindGate
+	b.nodes[out].Driver = g
+	return out
+}
+
+// GateNamed is a convenience wrapper taking input signal names.
+func (b *Builder) GateNamed(op logic.Op, name string, in ...string) NodeID {
+	ins := make([]NodeID, len(in))
+	for i, s := range in {
+		ins[i] = b.Signal(s)
+	}
+	return b.Gate(op, name, ins...)
+}
+
+// FlipFlop declares the named signal as the Q output of a D flip-flop
+// whose D input is the signal d. The power-up state is unknown (X).
+func (b *Builder) FlipFlop(name string, d NodeID) NodeID {
+	q := b.Signal(name)
+	b.define(q, "DFF")
+	b.nodes[q].Kind = KindState
+	idx := int32(len(b.ffs))
+	b.ffs = append(b.ffs, FF{Q: q, D: d, Init: logic.X})
+	b.nodes[q].FF = idx
+	return q
+}
+
+// Build validates the circuit, computes fanouts and levels, and returns
+// the immutable Circuit.
+func (b *Builder) Build() (*Circuit, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	// Late binding of flip-flop D nodes: record DOf role.
+	for i := range b.ffs {
+		d := b.ffs[i].D
+		if b.nodes[d].DOf >= 0 {
+			b.fail("signal %q drives two flip-flops", b.nodes[d].Name)
+			break
+		}
+		b.nodes[d].DOf = int32(i)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	for id := range b.nodes {
+		if !b.defined[id] {
+			b.fail("signal %q referenced but never defined", b.nodes[id].Name)
+			return nil, b.err
+		}
+	}
+	if len(b.inputs) == 0 && len(b.ffs) == 0 {
+		b.fail("circuit has neither inputs nor flip-flops")
+		return nil, b.err
+	}
+
+	c := &Circuit{
+		Name:    b.name,
+		Nodes:   b.nodes,
+		Gates:   b.gates,
+		Inputs:  b.inputs,
+		Outputs: b.output,
+		FFs:     b.ffs,
+		byName:  b.byName,
+	}
+	// Fanouts.
+	for gi := range c.Gates {
+		for pi, in := range c.Gates[gi].In {
+			c.Nodes[in].Fanouts = append(c.Nodes[in].Fanouts, Pin{Gate: GateID(gi), Input: int32(pi)})
+		}
+	}
+	// Levelize with Kahn's algorithm over gates; combinational cycles
+	// (cycles not broken by a flip-flop) are an error.
+	indeg := make([]int, len(c.Gates))
+	for gi := range c.Gates {
+		for _, in := range c.Gates[gi].In {
+			if c.Nodes[in].Kind == KindGate {
+				indeg[gi]++
+			}
+		}
+	}
+	queue := make([]GateID, 0, len(c.Gates))
+	for gi := range c.Gates {
+		if indeg[gi] == 0 {
+			queue = append(queue, GateID(gi))
+		}
+	}
+	order := make([]GateID, 0, len(c.Gates))
+	for len(queue) > 0 {
+		g := queue[0]
+		queue = queue[1:]
+		lvl := int32(0)
+		for _, in := range c.Gates[g].In {
+			n := &c.Nodes[in]
+			if n.Kind == KindGate {
+				if l := c.Gates[n.Driver].Level; l > lvl {
+					lvl = l
+				}
+			}
+		}
+		c.Gates[g].Level = lvl + 1
+		if c.Gates[g].Level > c.MaxLevel {
+			c.MaxLevel = c.Gates[g].Level
+		}
+		order = append(order, g)
+		for _, pin := range c.Nodes[c.Gates[g].Out].Fanouts {
+			indeg[pin.Gate]--
+			if indeg[pin.Gate] == 0 {
+				queue = append(queue, pin.Gate)
+			}
+		}
+	}
+	if len(order) != len(c.Gates) {
+		cyc := []string{}
+		for gi := range c.Gates {
+			if indeg[gi] > 0 {
+				cyc = append(cyc, c.Nodes[c.Gates[gi].Out].Name)
+			}
+		}
+		sort.Strings(cyc)
+		return nil, fmt.Errorf("netlist %s: combinational cycle through %s",
+			c.Name, strings.Join(cyc, ", "))
+	}
+	// Stable ascending-level order with deterministic tie-break by gate ID.
+	sort.SliceStable(order, func(i, j int) bool {
+		gi, gj := order[i], order[j]
+		if c.Gates[gi].Level != c.Gates[gj].Level {
+			return c.Gates[gi].Level < c.Gates[gj].Level
+		}
+		return gi < gj
+	})
+	c.Order = order
+	return c, nil
+}
+
+// DOT renders the circuit in Graphviz dot format, for documentation and
+// debugging.
+func (c *Circuit) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n", c.Name)
+	for _, id := range c.Inputs {
+		fmt.Fprintf(&sb, "  %q [shape=triangle,label=%q];\n", c.Nodes[id].Name, c.Nodes[id].Name)
+	}
+	for i, ff := range c.FFs {
+		fmt.Fprintf(&sb, "  ff%d [shape=box,label=\"DFF %s\"];\n", i, c.Nodes[ff.Q].Name)
+		fmt.Fprintf(&sb, "  %q -> ff%d [style=dashed];\n", c.Nodes[ff.D].Name, i)
+		fmt.Fprintf(&sb, "  ff%d -> %q;\n", i, c.Nodes[ff.Q].Name)
+		fmt.Fprintf(&sb, "  %q [shape=point];\n", c.Nodes[ff.Q].Name)
+	}
+	for gi := range c.Gates {
+		g := &c.Gates[gi]
+		out := c.Nodes[g.Out].Name
+		fmt.Fprintf(&sb, "  g%d [shape=ellipse,label=\"%v %s\"];\n", gi, g.Op, out)
+		for _, in := range g.In {
+			fmt.Fprintf(&sb, "  %q -> g%d;\n", c.Nodes[in].Name, gi)
+		}
+		fmt.Fprintf(&sb, "  g%d -> %q;\n", gi, out)
+	}
+	for _, id := range c.Outputs {
+		fmt.Fprintf(&sb, "  out_%s [shape=invtriangle,label=%q];\n", c.Nodes[id].Name, c.Nodes[id].Name)
+		fmt.Fprintf(&sb, "  %q -> out_%s;\n", c.Nodes[id].Name, c.Nodes[id].Name)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,270 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// buildToy builds a small valid circuit:
+//
+//	a, b inputs; q = DFF(d); n1 = AND(a, q); d = OR(n1, b); output n1.
+func buildToy(t *testing.T) *Circuit {
+	t.Helper()
+	b := NewBuilder("toy")
+	a := b.Input("a")
+	bb := b.Input("b")
+	q := b.FlipFlop("q", b.Signal("d"))
+	n1 := b.Gate(logic.And, "n1", a, q)
+	b.Gate(logic.Or, "d", n1, bb)
+	b.Output("n1")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return c
+}
+
+func TestBuildToy(t *testing.T) {
+	c := buildToy(t)
+	if c.NumInputs() != 2 || c.NumOutputs() != 1 || c.NumFFs() != 1 || c.NumGates() != 2 {
+		t.Fatalf("wrong counts: %+v", c.Stats())
+	}
+	if c.NumNodes() != 5 {
+		t.Fatalf("NumNodes = %d, want 5", c.NumNodes())
+	}
+}
+
+func TestNodeByName(t *testing.T) {
+	c := buildToy(t)
+	id, ok := c.NodeByName("n1")
+	if !ok || c.NodeName(id) != "n1" {
+		t.Fatal("NodeByName failed for n1")
+	}
+	if _, ok := c.NodeByName("nope"); ok {
+		t.Fatal("NodeByName found nonexistent node")
+	}
+}
+
+func TestNodeRoles(t *testing.T) {
+	c := buildToy(t)
+	q, _ := c.NodeByName("q")
+	d, _ := c.NodeByName("d")
+	a, _ := c.NodeByName("a")
+	n1, _ := c.NodeByName("n1")
+	if c.Nodes[q].Kind != KindState || c.Nodes[q].FF != 0 {
+		t.Error("q should be state node of FF 0")
+	}
+	if c.Nodes[d].DOf != 0 {
+		t.Error("d should be D input of FF 0")
+	}
+	if c.Nodes[a].Kind != KindInput {
+		t.Error("a should be input")
+	}
+	if c.Nodes[n1].Kind != KindGate || !c.Nodes[n1].IsOutput {
+		t.Error("n1 should be a gate-driven primary output")
+	}
+}
+
+func TestLevels(t *testing.T) {
+	c := buildToy(t)
+	n1, _ := c.NodeByName("n1")
+	d, _ := c.NodeByName("d")
+	if got := c.Gates[c.Nodes[n1].Driver].Level; got != 1 {
+		t.Errorf("level(n1) = %d, want 1", got)
+	}
+	if got := c.Gates[c.Nodes[d].Driver].Level; got != 2 {
+		t.Errorf("level(d) = %d, want 2", got)
+	}
+	if c.MaxLevel != 2 {
+		t.Errorf("MaxLevel = %d, want 2", c.MaxLevel)
+	}
+}
+
+func TestOrderIsTopological(t *testing.T) {
+	c := buildToy(t)
+	seen := map[NodeID]bool{}
+	for _, id := range c.Inputs {
+		seen[id] = true
+	}
+	for _, ff := range c.FFs {
+		seen[ff.Q] = true
+	}
+	for _, g := range c.Order {
+		for _, in := range c.Gates[g].In {
+			if !seen[in] {
+				t.Fatalf("gate %s evaluated before input %s",
+					c.NodeName(c.Gates[g].Out), c.NodeName(in))
+			}
+		}
+		seen[c.Gates[g].Out] = true
+	}
+	if len(c.Order) != len(c.Gates) {
+		t.Fatal("Order does not cover all gates")
+	}
+}
+
+func TestFanouts(t *testing.T) {
+	c := buildToy(t)
+	n1, _ := c.NodeByName("n1")
+	// n1 feeds gate d (one pin) and is a PO.
+	if len(c.Nodes[n1].Fanouts) != 1 {
+		t.Fatalf("n1 gate fanouts = %d, want 1", len(c.Nodes[n1].Fanouts))
+	}
+	if c.FanoutCount(n1) != 2 {
+		t.Errorf("FanoutCount(n1) = %d, want 2 (gate pin + PO)", c.FanoutCount(n1))
+	}
+	d, _ := c.NodeByName("d")
+	if c.FanoutCount(d) != 1 {
+		t.Errorf("FanoutCount(d) = %d, want 1 (FF D)", c.FanoutCount(d))
+	}
+}
+
+func TestCombinationalCycleRejected(t *testing.T) {
+	b := NewBuilder("cyc")
+	a := b.Input("a")
+	x := b.Signal("x")
+	y := b.Gate(logic.And, "y", a, x)
+	b.Gate(logic.Or, "x", y, a)
+	b.Output("y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("expected cycle error, got %v", err)
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// A feedback loop broken by a flip-flop is legal.
+	b := NewBuilder("seqloop")
+	a := b.Input("a")
+	q := b.FlipFlop("q", b.Signal("d"))
+	b.Gate(logic.Nand, "d", a, q)
+	b.Output("d")
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("sequential loop rejected: %v", err)
+	}
+}
+
+func TestUndefinedSignalRejected(t *testing.T) {
+	b := NewBuilder("undef")
+	a := b.Input("a")
+	b.Gate(logic.And, "y", a, b.Signal("ghost"))
+	b.Output("y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "never defined") {
+		t.Fatalf("expected undefined-signal error, got %v", err)
+	}
+}
+
+func TestDoubleDefinitionRejected(t *testing.T) {
+	b := NewBuilder("dbl")
+	a := b.Input("a")
+	b.Gate(logic.Buf, "y", a)
+	b.Gate(logic.Not, "y", a)
+	b.Output("y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("expected double-definition error, got %v", err)
+	}
+}
+
+func TestDoubleOutputRejected(t *testing.T) {
+	b := NewBuilder("dblout")
+	a := b.Input("a")
+	b.Gate(logic.Buf, "y", a)
+	b.Output("y")
+	b.Output("y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "OUTPUT twice") {
+		t.Fatalf("expected double-output error, got %v", err)
+	}
+}
+
+func TestBadArityRejected(t *testing.T) {
+	b := NewBuilder("arity")
+	a := b.Input("a")
+	bb := b.Input("b")
+	b.Gate(logic.Not, "y", a, bb)
+	b.Output("y")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "inputs") {
+		t.Fatalf("expected arity error, got %v", err)
+	}
+}
+
+func TestEmptyCircuitRejected(t *testing.T) {
+	b := NewBuilder("empty")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for empty circuit")
+	}
+}
+
+func TestSharedDNodeRejected(t *testing.T) {
+	b := NewBuilder("sharedD")
+	a := b.Input("a")
+	d := b.Gate(logic.Buf, "d", a)
+	b.FlipFlop("q1", d)
+	b.FlipFlop("q2", d)
+	b.Output("d")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "two flip-flops") {
+		t.Fatalf("expected shared-D error, got %v", err)
+	}
+}
+
+func TestGateNamed(t *testing.T) {
+	b := NewBuilder("named")
+	b.Input("a")
+	b.Input("b")
+	b.GateNamed(logic.And, "y", "a", "b")
+	b.Output("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	y, _ := c.NodeByName("y")
+	g := c.Gates[c.Nodes[y].Driver]
+	if len(g.In) != 2 || c.NodeName(g.In[0]) != "a" || c.NodeName(g.In[1]) != "b" {
+		t.Fatal("GateNamed wired wrong inputs")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	c := buildToy(t)
+	s := c.Stats().String()
+	for _, frag := range []string{"toy", "2 PIs", "1 POs", "1 FFs", "2 gates"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Stats string %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	c := buildToy(t)
+	dot := c.DOT()
+	for _, frag := range []string{"digraph", "DFF q", "AND n1", "rankdir"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q", frag)
+		}
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if KindInput.String() != "input" || KindState.String() != "state" || KindGate.String() != "gate" {
+		t.Error("NodeKind strings wrong")
+	}
+	if !strings.Contains(NodeKind(9).String(), "9") {
+		t.Error("invalid NodeKind string")
+	}
+}
+
+func TestConstGate(t *testing.T) {
+	b := NewBuilder("const")
+	b.Input("a")
+	b.Gate(logic.Const1, "one")
+	b.GateNamed(logic.And, "y", "a", "one")
+	b.Output("y")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	one, _ := c.NodeByName("one")
+	if c.Gates[c.Nodes[one].Driver].Level != 1 {
+		t.Error("const gate should have level 1")
+	}
+}

@@ -1,0 +1,200 @@
+// Package oracle decides fault detectability exactly, by enumerating
+// initial states, for circuits with few flip-flops. It is the ground
+// truth against which the simulation procedures are validated:
+//
+//   - Restricted MOT [2,3]: a single fault-free response (three-valued,
+//     from the all-X initial state); the fault is detected iff for every
+//     binary initial state of the faulty machine, the faulty response
+//     conflicts with the fault-free response at some position where the
+//     fault-free value is specified.
+//
+//   - Full MOT [2]: both machines' initial states are enumerated; the
+//     fault is detected iff for every pair (fault-free initial state,
+//     faulty initial state) the two binary responses differ somewhere.
+//
+// Conventional single-observation-time detection is included for
+// completeness. Cost is O(2^FFs) simulations (O(4^FFs) for full MOT), so
+// the oracle enforces a flip-flop limit.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+// MaxFFs is the largest flip-flop count the oracle accepts.
+const MaxFFs = 16
+
+// Verdict classifies a fault under the three detection criteria.
+type Verdict struct {
+	Conventional  bool
+	RestrictedMOT bool
+	FullMOT       bool
+}
+
+// Oracle precomputes the fault-free data for a circuit and test sequence.
+type Oracle struct {
+	c    *netlist.Circuit
+	T    seqsim.Sequence
+	good *seqsim.Trace
+	// goodResponses holds the binary output responses of every fault-free
+	// initial state (for full MOT).
+	goodResponses [][][]logic.Val
+}
+
+// New builds an oracle. It fails when the circuit has more than MaxFFs
+// flip-flops.
+func New(c *netlist.Circuit, T seqsim.Sequence) (*Oracle, error) {
+	if c.NumFFs() > MaxFFs {
+		return nil, fmt.Errorf("oracle: circuit has %d flip-flops, limit is %d", c.NumFFs(), MaxFFs)
+	}
+	sim := seqsim.New(c)
+	good, err := sim.FaultFree(T)
+	if err != nil {
+		return nil, err
+	}
+	o := &Oracle{c: c, T: T, good: good}
+	n := c.NumFFs()
+	o.goodResponses = make([][][]logic.Val, 0, 1<<n)
+	for m := 0; m < 1<<n; m++ {
+		resp, err := o.respond(initState(c, m, nil), nil)
+		if err != nil {
+			return nil, err
+		}
+		o.goodResponses = append(o.goodResponses, resp)
+	}
+	return o, nil
+}
+
+// initState builds the effective binary initial state with bit mask m.
+func initState(c *netlist.Circuit, m int, f *fault.Fault) []logic.Val {
+	st := make([]logic.Val, c.NumFFs())
+	for i, ff := range c.FFs {
+		v := logic.FromBool(m&(1<<i) != 0)
+		if f != nil {
+			v = f.Observed(ff.Q, v)
+		}
+		st[i] = v
+	}
+	return st
+}
+
+// respond simulates the machine (fault f, nil for fault-free) from the
+// given initial state and returns the per-frame output responses.
+func (o *Oracle) respond(st []logic.Val, f *fault.Fault) ([][]logic.Val, error) {
+	c := o.c
+	vals := make([]logic.Val, c.NumNodes())
+	resp := make([][]logic.Val, len(o.T))
+	for u, pat := range o.T {
+		if len(pat) != c.NumInputs() {
+			return nil, fmt.Errorf("oracle: pattern %d has %d values, circuit has %d inputs",
+				u, len(pat), c.NumInputs())
+		}
+		seqsim.EvalFrame(c, pat, st, f, vals)
+		row := make([]logic.Val, c.NumOutputs())
+		for j, id := range c.Outputs {
+			row[j] = vals[id]
+		}
+		resp[u] = row
+		next := make([]logic.Val, c.NumFFs())
+		for i, ff := range c.FFs {
+			v := vals[ff.D]
+			if f != nil {
+				v = f.Observed(ff.Q, v)
+			}
+			next[i] = v
+		}
+		st = next
+	}
+	return resp, nil
+}
+
+// conflicts reports whether responses a and b differ at some position
+// where both are specified.
+func conflicts(a, b [][]logic.Val) bool {
+	for u := range a {
+		for j := range a[u] {
+			if a[u][j].IsBinary() && b[u][j].IsBinary() && a[u][j] != b[u][j] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Decide classifies fault f under all three criteria.
+func (o *Oracle) Decide(f fault.Fault) (Verdict, error) {
+	var v Verdict
+
+	// Conventional: three-valued faulty simulation from the all-X state.
+	sim := seqsim.New(o.c)
+	bad, err := sim.Run(o.T, &f, false)
+	if err != nil {
+		return v, err
+	}
+	_, v.Conventional = seqsim.FirstDetection(o.good, bad)
+
+	// Restricted MOT: every binary faulty initial state must conflict
+	// with the single three-valued fault-free response.
+	n := o.c.NumFFs()
+	v.RestrictedMOT = true
+	faultyResponses := make([][][]logic.Val, 0, 1<<n)
+	for m := 0; m < 1<<n; m++ {
+		resp, err := o.respond(initState(o.c, m, &f), &f)
+		if err != nil {
+			return v, err
+		}
+		faultyResponses = append(faultyResponses, resp)
+		if v.RestrictedMOT && !conflicts(o.good.Outputs, resp) {
+			v.RestrictedMOT = false
+		}
+	}
+
+	// Full MOT: every (fault-free state, faulty state) pair must differ.
+	v.FullMOT = true
+full:
+	for _, g := range o.goodResponses {
+		for _, b := range faultyResponses {
+			if !conflicts(g, b) {
+				v.FullMOT = false
+				break full
+			}
+		}
+	}
+	return v, nil
+}
+
+// Counts aggregates verdicts over a fault list.
+type Counts struct {
+	Total         int
+	Conventional  int
+	RestrictedMOT int
+	FullMOT       int
+}
+
+// DecideAll classifies every fault.
+func (o *Oracle) DecideAll(faults []fault.Fault) (Counts, []Verdict, error) {
+	counts := Counts{Total: len(faults)}
+	verdicts := make([]Verdict, len(faults))
+	for k, f := range faults {
+		v, err := o.Decide(f)
+		if err != nil {
+			return counts, nil, err
+		}
+		verdicts[k] = v
+		if v.Conventional {
+			counts.Conventional++
+		}
+		if v.RestrictedMOT {
+			counts.RestrictedMOT++
+		}
+		if v.FullMOT {
+			counts.FullMOT++
+		}
+	}
+	return counts, verdicts, nil
+}

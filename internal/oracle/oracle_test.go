@@ -1,0 +1,199 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+func introOracle(t *testing.T) (*Oracle, *netlist.Circuit, fault.Fault) {
+	t.Helper()
+	c := circuits.Intro()
+	T := seqsim.Sequence{{logic.Zero}, {logic.Zero}, {logic.Zero}}
+	o, err := New(c, T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, gate := circuits.IntroFault(c)
+	return o, c, fault.Fault{Node: node, Gate: gate, Pin: 0, Stuck: logic.One}
+}
+
+func TestIntroVerdicts(t *testing.T) {
+	o, _, f := introOracle(t)
+	v, err := o.Decide(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Conventional {
+		t.Error("intro fault must not be conventionally detected")
+	}
+	if !v.RestrictedMOT {
+		t.Error("intro fault must be restricted-MOT detectable")
+	}
+	if !v.FullMOT {
+		t.Error("restricted-MOT detectability implies full-MOT detectability")
+	}
+}
+
+func TestFFLimit(t *testing.T) {
+	b := netlist.NewBuilder("big")
+	a := b.Input("a")
+	for i := 0; i < MaxFFs+1; i++ {
+		q := b.FlipFlop(fmt.Sprintf("q%d", i), b.Signal(fmt.Sprintf("d%d", i)))
+		b.Gate(logic.And, fmt.Sprintf("d%d", i), a, q)
+	}
+	b.GateNamed(logic.Buf, "o", "q0")
+	b.Output("o")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, seqsim.Sequence{{logic.One}}); err == nil {
+		t.Fatal("oracle accepted a circuit over the FF limit")
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	// Conventional implies restricted MOT implies full MOT, on an
+	// assortment of random circuits and faults.
+	rng := rand.New(rand.NewSource(13))
+	trials := 0
+	for trials < 12 {
+		c, err := randomCircuit(rng, 2, 3, 8+rng.Intn(10))
+		if err != nil {
+			continue
+		}
+		trials++
+		T := randomSequence(rng, c.NumInputs(), 5)
+		o, err := New(c, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts, verdicts, err := o.DecideAll(fault.CollapsedList(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range verdicts {
+			if v.Conventional && !v.RestrictedMOT {
+				t.Fatalf("fault %d: conventional but not restricted-MOT", k)
+			}
+			if v.RestrictedMOT && !v.FullMOT {
+				t.Fatalf("fault %d: restricted-MOT but not full-MOT", k)
+			}
+		}
+		if counts.Conventional > counts.RestrictedMOT || counts.RestrictedMOT > counts.FullMOT {
+			t.Fatalf("count hierarchy violated: %+v", counts)
+		}
+	}
+}
+
+// TestSimulatorNeverExceedsOracle is the completeness-side cross-check of
+// the whole system: the MOT procedure must never claim a detection the
+// restricted-MOT oracle denies (soundness), and conventional counts must
+// agree exactly.
+func TestSimulatorNeverExceedsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	trials := 0
+	for trials < 12 {
+		c, err := randomCircuit(rng, 2, 4, 10+rng.Intn(12))
+		if err != nil {
+			continue
+		}
+		trials++
+		T := randomSequence(rng, c.NumInputs(), 6)
+		o, err := New(c, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := fault.CollapsedList(c)
+		sim, err := core.NewSimulator(c, T, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range faults {
+			v, err := o.Decide(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.SimulateFault(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Outcome == core.DetectedConventional && !v.Conventional {
+				t.Fatalf("fault %s: simulator says conventional, oracle denies", f.Name(c))
+			}
+			if res.Outcome == core.DetectedMOT && !v.RestrictedMOT {
+				t.Fatalf("fault %s: simulator says MOT-detected, oracle denies", f.Name(c))
+			}
+			if v.Conventional && res.Outcome == core.Undetected {
+				t.Fatalf("fault %s: oracle says conventional, simulator missed it", f.Name(c))
+			}
+		}
+	}
+}
+
+func TestRespondWidthCheck(t *testing.T) {
+	c, err := bench.ParseString("w", "INPUT(a)\nINPUT(b)\nOUTPUT(o)\no = AND(a, b)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(c, seqsim.Sequence{{logic.One}}); err == nil {
+		t.Fatal("narrow pattern accepted")
+	}
+}
+
+// --- helpers shared with other packages' tests ---
+
+func randomCircuit(rng *rand.Rand, nPI, nFF, nGates int) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder("rand")
+	var pool []netlist.NodeID
+	for i := 0; i < nPI; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	for i := 0; i < nFF; i++ {
+		pool = append(pool, b.FlipFlop(fmt.Sprintf("q%d", i), b.Signal(fmt.Sprintf("d%d", i))))
+	}
+	ops := []logic.Op{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor, logic.Not}
+	for i := 0; i < nGates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		n := 1
+		if op != logic.Not {
+			n = 2 + rng.Intn(2)
+		}
+		ins := make([]netlist.NodeID, n)
+		for j := range ins {
+			ins[j] = pool[rng.Intn(len(pool))]
+		}
+		var name string
+		if i < nFF {
+			name = fmt.Sprintf("d%d", i)
+		} else {
+			name = fmt.Sprintf("g%d", i)
+		}
+		pool = append(pool, b.Gate(op, name, ins...))
+	}
+	for i := 0; i < 2 && i < nGates-nFF; i++ {
+		b.Output(fmt.Sprintf("g%d", nGates-1-i))
+	}
+	return b.Build()
+}
+
+func randomSequence(rng *rand.Rand, width, length int) seqsim.Sequence {
+	T := make(seqsim.Sequence, length)
+	for u := range T {
+		p := make(seqsim.Pattern, width)
+		for i := range p {
+			p[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		T[u] = p
+	}
+	return T
+}

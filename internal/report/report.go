@@ -1,0 +1,153 @@
+// Package report renders the paper's result tables (Table 2: detected
+// fault counts; Table 3: backward-implication effectiveness counters) in
+// plain-text and CSV form, with optional paper-reference columns for
+// shape comparison.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/circuits"
+)
+
+// Table2Row is one measured row of Table 2.
+type Table2Row struct {
+	Circuit string
+	Total   int
+	Conv    int
+	// Baseline is the procedure of [4]; Extra columns count detections
+	// beyond conventional simulation.
+	BaseTotal int
+	BaseExtra int
+	PropTotal int
+	PropExtra int
+	// Paper optionally holds the published numbers for the circuit the
+	// row's synthetic stand-in mirrors.
+	Paper *circuits.PaperRow
+}
+
+// Table3Row is one measured row of Table 3: averages of the per-fault
+// counters over faults detected by the proposed method beyond
+// conventional simulation.
+type Table3Row struct {
+	Circuit string
+	Det     float64
+	Conf    float64
+	Extra   float64
+	Paper   *circuits.PaperRow
+}
+
+// naInt renders n, or "NA" for negative sentinel values.
+func naInt(n int) string {
+	if n < 0 {
+		return "NA"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// FormatTable2 renders Table 2. With paper=true, each measured column is
+// followed by the published value in brackets.
+func FormatTable2(rows []Table2Row, paper bool) string {
+	var sb strings.Builder
+	if paper {
+		fmt.Fprintf(&sb, "%-10s %-14s %-14s %-11s %-11s %-11s %-11s\n",
+			"circuit", "total[paper]", "conv[paper]", "[4]tot", "[4]extra", "prop.tot", "prop.extra")
+	} else {
+		fmt.Fprintf(&sb, "%-10s %8s %8s %8s %9s %9s %10s\n",
+			"circuit", "total", "conv", "[4]tot", "[4]extra", "prop.tot", "prop.extra")
+	}
+	for _, r := range rows {
+		if paper && r.Paper != nil {
+			p := r.Paper
+			fmt.Fprintf(&sb, "%-10s %-14s %-14s %-11s %-11s %-11s %-11s\n",
+				r.Circuit,
+				fmt.Sprintf("%d[%d]", r.Total, p.TotalFaults),
+				fmt.Sprintf("%d[%d]", r.Conv, p.Conventional),
+				fmt.Sprintf("%d[%s]", r.BaseTotal, naInt(p.BaselineTotal)),
+				fmt.Sprintf("%d[%s]", r.BaseExtra, naInt(p.BaselineExtra)),
+				fmt.Sprintf("%d[%d]", r.PropTotal, p.ProposedTotal),
+				fmt.Sprintf("%d[%d]", r.PropExtra, p.ProposedExtra))
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %8d %8d %8d %9d %9d %10d\n",
+			r.Circuit, r.Total, r.Conv, r.BaseTotal, r.BaseExtra, r.PropTotal, r.PropExtra)
+	}
+	return sb.String()
+}
+
+// CSVTable2 renders Table 2 as CSV.
+func CSVTable2(rows []Table2Row) string {
+	var sb strings.Builder
+	sb.WriteString("circuit,total,conv,base_total,base_extra,prop_total,prop_extra\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d\n",
+			r.Circuit, r.Total, r.Conv, r.BaseTotal, r.BaseExtra, r.PropTotal, r.PropExtra)
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders Table 3. With paper=true the published averages
+// follow in brackets.
+func FormatTable3(rows []Table3Row, paper bool) string {
+	var sb strings.Builder
+	if paper {
+		fmt.Fprintf(&sb, "%-10s %-18s %-18s %-18s\n", "circuit", "detect[paper]", "conf[paper]", "extra[paper]")
+	} else {
+		fmt.Fprintf(&sb, "%-10s %10s %10s %10s\n", "circuit", "detect", "conf", "extra")
+	}
+	for _, r := range rows {
+		if paper && r.Paper != nil {
+			p := r.Paper
+			fmt.Fprintf(&sb, "%-10s %-18s %-18s %-18s\n",
+				r.Circuit,
+				fmt.Sprintf("%.2f[%.2f]", r.Det, p.AvgDetect),
+				fmt.Sprintf("%.2f[%.2f]", r.Conf, p.AvgConf),
+				fmt.Sprintf("%.2f[%.2f]", r.Extra, p.AvgExtra))
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s %10.2f %10.2f %10.2f\n", r.Circuit, r.Det, r.Conf, r.Extra)
+	}
+	return sb.String()
+}
+
+// CSVTable3 renders Table 3 as CSV.
+func CSVTable3(rows []Table3Row) string {
+	var sb strings.Builder
+	sb.WriteString("circuit,avg_detect,avg_conf,avg_extra\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%.2f,%.2f,%.2f\n", r.Circuit, r.Det, r.Conf, r.Extra)
+	}
+	return sb.String()
+}
+
+// ShapeCheck describes whether the measured rows preserve the paper's
+// qualitative shape: proposed >= baseline >= conventional everywhere, and
+// the proposed procedure finds extra faults on circuits where the paper
+// reports extras.
+type ShapeCheck struct {
+	OrderingHolds   bool
+	CircuitsWithMOT int
+	StrictWins      int // circuits where proposed detects more than baseline
+	Notes           []string
+}
+
+// CheckShape evaluates the qualitative reproduction criteria on Table 2
+// rows.
+func CheckShape(rows []Table2Row) ShapeCheck {
+	chk := ShapeCheck{OrderingHolds: true}
+	for _, r := range rows {
+		if r.PropTotal < r.BaseTotal || r.BaseTotal < r.Conv {
+			chk.OrderingHolds = false
+			chk.Notes = append(chk.Notes,
+				fmt.Sprintf("%s: ordering violated (conv=%d base=%d prop=%d)", r.Circuit, r.Conv, r.BaseTotal, r.PropTotal))
+		}
+		if r.PropExtra > 0 {
+			chk.CircuitsWithMOT++
+		}
+		if r.PropTotal > r.BaseTotal {
+			chk.StrictWins++
+		}
+	}
+	return chk
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+)
+
+func sampleRows() []Table2Row {
+	paper := circuits.PaperRow{
+		TotalFaults: 4603, Conventional: 2352,
+		BaselineTotal: 2352, BaselineExtra: 0,
+		ProposedTotal: 2363, ProposedExtra: 11,
+		AvgDetect: 616.18, AvgConf: 142.00, AvgExtra: 1082.27,
+	}
+	na := circuits.PaperRow{
+		TotalFaults: 11725, Conventional: 85,
+		BaselineTotal: -1, BaselineExtra: -1,
+		ProposedTotal: 87, ProposedExtra: 2,
+	}
+	return []Table2Row{
+		{Circuit: "sg5378", Total: 2000, Conv: 900, BaseTotal: 900, BaseExtra: 0, PropTotal: 908, PropExtra: 8, Paper: &paper},
+		{Circuit: "sg15850", Total: 5000, Conv: 100, BaseTotal: 101, BaseExtra: 1, PropTotal: 103, PropExtra: 3, Paper: &na},
+	}
+}
+
+func TestFormatTable2Plain(t *testing.T) {
+	out := FormatTable2(sampleRows(), false)
+	for _, frag := range []string{"circuit", "sg5378", "908", "prop.extra"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("plain table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestFormatTable2Paper(t *testing.T) {
+	out := FormatTable2(sampleRows(), true)
+	for _, frag := range []string{"2363", "908[2363]", "NA", "900[2352]"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("paper table missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCSVTable2(t *testing.T) {
+	out := CSVTable2(sampleRows())
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "sg5378,2000,900,900,0,908,8") {
+		t.Errorf("CSV row wrong: %s", lines[1])
+	}
+}
+
+func TestFormatTable3(t *testing.T) {
+	p := circuits.PaperRow{AvgDetect: 616.18, AvgConf: 142, AvgExtra: 1082.27}
+	rows := []Table3Row{
+		{Circuit: "sg5378", Det: 12.5, Conf: 3.25, Extra: 44.75, Paper: &p},
+		{Circuit: "sg208", Det: 0, Conf: 1, Extra: 9},
+	}
+	plain := FormatTable3(rows, false)
+	if !strings.Contains(plain, "12.50") || !strings.Contains(plain, "44.75") {
+		t.Errorf("plain table 3 wrong:\n%s", plain)
+	}
+	paper := FormatTable3(rows, true)
+	if !strings.Contains(paper, "12.50[616.18]") {
+		t.Errorf("paper table 3 wrong:\n%s", paper)
+	}
+	csv := CSVTable3(rows)
+	if !strings.Contains(csv, "sg208,0.00,1.00,9.00") {
+		t.Errorf("CSV table 3 wrong:\n%s", csv)
+	}
+}
+
+func TestCheckShape(t *testing.T) {
+	rows := sampleRows()
+	chk := CheckShape(rows)
+	if !chk.OrderingHolds {
+		t.Error("ordering should hold")
+	}
+	if chk.CircuitsWithMOT != 2 || chk.StrictWins != 2 {
+		t.Errorf("shape counts wrong: %+v", chk)
+	}
+	rows[0].BaseTotal = 800 // below conventional
+	chk = CheckShape(rows)
+	if chk.OrderingHolds || len(chk.Notes) == 0 {
+		t.Error("violated ordering not reported")
+	}
+}

@@ -1,0 +1,54 @@
+package seqsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// TestFrameDeltaMatchesEvalFrame checks the exported single-frame delta
+// evaluator against the full evaluator for random frames and faults.
+func TestFrameDeltaMatchesEvalFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		c, err := randomCircuit(rng, 3, 4, 12+rng.Intn(20))
+		if err != nil {
+			continue
+		}
+		s := New(c)
+		pat := make(Pattern, c.NumInputs())
+		for i := range pat {
+			pat[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		goodPS := make([]logic.Val, c.NumFFs())
+		badPS := make([]logic.Val, c.NumFFs())
+		for i := range goodPS {
+			goodPS[i] = logic.Val(rng.Intn(3))
+			badPS[i] = logic.Val(rng.Intn(3))
+		}
+		goodVals := make([]logic.Val, c.NumNodes())
+		EvalFrame(c, pat, goodPS, nil, goodVals)
+
+		faults := fault.List(c)
+		f := faults[rng.Intn(len(faults))]
+		want := make([]logic.Val, c.NumNodes())
+		EvalFrame(c, pat, badPS, &f, want)
+		got := s.FrameDelta(pat, badPS, goodVals, &f)
+		for n := range want {
+			if got[n] != want[n] {
+				t.Fatalf("trial %d fault %s: node %s delta=%v full=%v",
+					trial, f.Name(c), c.NodeName(netlist.NodeID(n)), got[n], want[n])
+			}
+		}
+		// Fault-free delta path (nil fault).
+		got = s.FrameDelta(pat, goodPS, goodVals, nil)
+		for n := range goodVals {
+			if got[n] != goodVals[n] {
+				t.Fatalf("trial %d: fault-free delta diverged at node %d", trial, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,382 @@
+// Package seqsim implements conventional three-valued simulation of
+// synchronous sequential circuits: fault-free simulation, serial stuck-at
+// fault simulation with fault dropping, and detection checking under the
+// single observation time approach.
+//
+// Simulation starts from the all-unspecified (X) initial state and applies
+// one input pattern per time frame, exactly as in the fault simulators the
+// paper builds on [1].
+package seqsim
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Pattern is one input vector: one value per primary input, in the
+// circuit's input order.
+type Pattern []logic.Val
+
+// Sequence is a test sequence: Sequence[u] is the pattern applied at time
+// frame u.
+type Sequence []Pattern
+
+// ParseSequence parses one pattern string per element, e.g. {"1011", "0x10"}.
+func ParseSequence(lines []string) (Sequence, error) {
+	seq := make(Sequence, len(lines))
+	for i, s := range lines {
+		p, err := logic.ParseVals(s)
+		if err != nil {
+			return nil, fmt.Errorf("pattern %d: %w", i, err)
+		}
+		seq[i] = p
+	}
+	return seq, nil
+}
+
+// Trace records the simulation history of one machine (fault-free or
+// faulty) over a test sequence of length L.
+type Trace struct {
+	// States[u] holds the effective present-state values at time u, for
+	// u in [0, L]. States[0] is the initial state; States[L] is the state
+	// after the final pattern.
+	States [][]logic.Val
+	// Outputs[u] holds the observed primary-output values at time u, for
+	// u in [0, L-1].
+	Outputs [][]logic.Val
+	// Nodes[u] holds every node's effective value in frame u, for u in
+	// [0, L-1]. Nil unless the simulation was asked to keep node values.
+	Nodes [][]logic.Val
+}
+
+// Len returns the number of simulated time frames.
+func (t *Trace) Len() int { return len(t.Outputs) }
+
+// Simulator runs three-valued simulation on one circuit. It is not safe
+// for concurrent use; create one per goroutine.
+type Simulator struct {
+	c *netlist.Circuit
+
+	// scratch buffers reused across frames
+	vals []logic.Val
+	good []logic.Val // fault-free frame values for delta evaluation
+
+	// delta-evaluation worklist state
+	dirty   []bool
+	levelQ  [][]netlist.GateID
+	useFull bool
+}
+
+// New returns a Simulator for the circuit using event-driven (delta) frame
+// evaluation for faulty frames.
+func New(c *netlist.Circuit) *Simulator {
+	return &Simulator{
+		c:      c,
+		vals:   make([]logic.Val, c.NumNodes()),
+		good:   make([]logic.Val, c.NumNodes()),
+		dirty:  make([]bool, c.NumGates()),
+		levelQ: make([][]netlist.GateID, c.MaxLevel+1),
+	}
+}
+
+// NewFullPass returns a Simulator that evaluates every gate in every
+// faulty frame (the straightforward reference evaluator). Results are
+// identical to New; only performance differs.
+func NewFullPass(c *netlist.Circuit) *Simulator {
+	s := New(c)
+	s.useFull = true
+	return s
+}
+
+// Circuit returns the simulated circuit.
+func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
+
+// noFault is the absence of a fault; a nil *fault.Fault is not used so the
+// hot path avoids nil checks on methods.
+var noFault = fault.Fault{Node: netlist.NoNode, Gate: netlist.NoGate}
+
+// EvalFrame computes the effective value of every node for one time frame
+// of circuit c: pi are the primary-input values, ps the effective
+// present-state values, f the injected fault (use nil for fault-free), and
+// vals the output buffer with one entry per node.
+//
+// "Effective" means the value readers observe: a node with a stem fault
+// holds its stuck value and the value its driver would compute is
+// discarded, since no reader can observe it.
+func EvalFrame(c *netlist.Circuit, pi Pattern, ps []logic.Val, f *fault.Fault, vals []logic.Val) {
+	if f == nil {
+		f = &noFault
+	}
+	for i, id := range c.Inputs {
+		vals[id] = f.Observed(id, pi[i])
+	}
+	for i, ff := range c.FFs {
+		// ps is already effective (stem faults on Q applied by the caller
+		// that produced the state), but applying Observed again is
+		// harmless and protects direct callers.
+		vals[ff.Q] = f.Observed(ff.Q, ps[i])
+	}
+	for _, gi := range c.Order {
+		g := &c.Gates[gi]
+		vals[g.Out] = evalGate(c, g, gi, f, vals)
+	}
+}
+
+// evalGate computes the effective output value of one gate under fault f.
+func evalGate(c *netlist.Circuit, g *netlist.Gate, gi netlist.GateID, f *fault.Fault, vals []logic.Val) logic.Val {
+	if v, ok := f.StuckNode(g.Out); ok {
+		return v
+	}
+	var buf [8]logic.Val
+	in := buf[:0]
+	if len(g.In) > len(buf) {
+		in = make([]logic.Val, 0, len(g.In))
+	}
+	for pi, id := range g.In {
+		in = append(in, f.SeenBy(gi, int32(pi), id, vals[id]))
+	}
+	return logic.Eval(g.Op, in)
+}
+
+// initialState returns the effective all-X initial state under fault f.
+func initialState(c *netlist.Circuit, f *fault.Fault) []logic.Val {
+	st := make([]logic.Val, c.NumFFs())
+	for i, ff := range c.FFs {
+		st[i] = f.Observed(ff.Q, ff.Init)
+	}
+	return st
+}
+
+// nextState extracts the effective next state from frame values.
+func nextState(c *netlist.Circuit, f *fault.Fault, vals []logic.Val) []logic.Val {
+	st := make([]logic.Val, c.NumFFs())
+	for i, ff := range c.FFs {
+		// vals[ff.D] is already effective; the latched value becomes the
+		// next present state, observed through any stem fault on Q.
+		st[i] = f.Observed(ff.Q, vals[ff.D])
+	}
+	return st
+}
+
+// outputsOf extracts the observed primary outputs from frame values.
+func outputsOf(c *netlist.Circuit, vals []logic.Val) []logic.Val {
+	out := make([]logic.Val, c.NumOutputs())
+	for i, id := range c.Outputs {
+		out[i] = vals[id]
+	}
+	return out
+}
+
+// Run simulates the test sequence on the machine with fault f (nil for
+// fault-free), returning the trace. keepNodes controls whether per-frame
+// node values are retained (needed by the implication engine).
+func (s *Simulator) Run(T Sequence, f *fault.Fault, keepNodes bool) (*Trace, error) {
+	c := s.c
+	if f == nil {
+		f = &noFault
+	}
+	tr := &Trace{
+		States:  make([][]logic.Val, 0, len(T)+1),
+		Outputs: make([][]logic.Val, 0, len(T)),
+	}
+	if keepNodes {
+		tr.Nodes = make([][]logic.Val, 0, len(T))
+	}
+	state := initialState(c, f)
+	tr.States = append(tr.States, state)
+	for u, pat := range T {
+		if len(pat) != c.NumInputs() {
+			return nil, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
+				u, len(pat), c.NumInputs())
+		}
+		EvalFrame(c, pat, state, f, s.vals)
+		tr.Outputs = append(tr.Outputs, outputsOf(c, s.vals))
+		if keepNodes {
+			frame := make([]logic.Val, len(s.vals))
+			copy(frame, s.vals)
+			tr.Nodes = append(tr.Nodes, frame)
+		}
+		state = nextState(c, f, s.vals)
+		tr.States = append(tr.States, state)
+	}
+	return tr, nil
+}
+
+// FaultFree simulates the fault-free machine.
+func (s *Simulator) FaultFree(T Sequence) (*Trace, error) {
+	return s.Run(T, nil, false)
+}
+
+// Detection identifies a single-observation-time detection: a time frame
+// and output where the fault-free response is binary and the faulty
+// response is the opposite binary value.
+type Detection struct {
+	Time   int
+	Output int
+}
+
+// FirstDetection returns the earliest detection of bad against good, if any.
+func FirstDetection(good, bad *Trace) (Detection, bool) {
+	for u := 0; u < len(good.Outputs) && u < len(bad.Outputs); u++ {
+		g, b := good.Outputs[u], bad.Outputs[u]
+		for j := range g {
+			if g[j].IsBinary() && b[j].IsBinary() && g[j] != b[j] {
+				return Detection{Time: u, Output: j}, true
+			}
+		}
+	}
+	return Detection{}, false
+}
+
+// FaultResult summarizes conventional serial simulation of one fault.
+type FaultResult struct {
+	Fault    fault.Fault
+	Detected bool
+	At       Detection
+}
+
+// RunFaults serially simulates every fault in the list against the
+// fault-free trace good, dropping each fault at its first detection.
+func (s *Simulator) RunFaults(T Sequence, good *Trace, faults []fault.Fault) ([]FaultResult, error) {
+	results := make([]FaultResult, len(faults))
+	for i, f := range faults {
+		_, at, detected, err := s.RunFault(T, good, f, false)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = FaultResult{Fault: f, Detected: detected, At: at}
+	}
+	return results, nil
+}
+
+// RunFault simulates one fault against the fault-free trace good, using
+// event-driven propagation when good retains node values. Simulation
+// stops at the first detection (the fault is dropped); the returned trace
+// is then partial and detected is true. When no detection occurs, the
+// complete faulty trace is returned; keepNodes controls whether it
+// retains per-frame node values (needed by the MOT implication engine).
+func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes bool) (tr *Trace, at Detection, detected bool, err error) {
+	c := s.c
+	tr = &Trace{
+		States:  make([][]logic.Val, 0, len(T)+1),
+		Outputs: make([][]logic.Val, 0, len(T)),
+	}
+	if keepNodes {
+		tr.Nodes = make([][]logic.Val, 0, len(T))
+	}
+	tr.States = append(tr.States, initialState(c, &f))
+	for u, pat := range T {
+		if len(pat) != c.NumInputs() {
+			return nil, Detection{}, false, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
+				u, len(pat), c.NumInputs())
+		}
+		s.evalFaultyFrame(pat, good, u, &f)
+		tr.Outputs = append(tr.Outputs, outputsOf(c, s.vals))
+		if keepNodes {
+			frame := make([]logic.Val, len(s.vals))
+			copy(frame, s.vals)
+			tr.Nodes = append(tr.Nodes, frame)
+		}
+		tr.States = append(tr.States, nextState(c, &f, s.vals))
+		g := good.Outputs[u]
+		for j, id := range c.Outputs {
+			b := s.vals[id]
+			if g[j].IsBinary() && b.IsBinary() && g[j] != b {
+				return tr, Detection{Time: u, Output: j}, true, nil
+			}
+		}
+	}
+	return tr, Detection{}, false, nil
+}
+
+// evalFaultyFrame computes the faulty frame u values into s.vals. With the
+// full-pass evaluator this is EvalFrame; otherwise the faulty values are
+// derived from the fault-free frame by event-driven propagation of
+// differences (the present-state differences and the fault site).
+//
+// The faulty present state is taken from s.vals of the previous call via
+// prevState, so callers must invoke it for u = 0, 1, 2, ... in order.
+func (s *Simulator) evalFaultyFrame(pat Pattern, good *Trace, u int, f *fault.Fault) {
+	c := s.c
+	var ps []logic.Val
+	if u == 0 {
+		ps = initialState(c, f)
+	} else {
+		ps = nextState(c, f, s.vals)
+	}
+	if s.useFull || good.Nodes == nil {
+		EvalFrame(c, pat, ps, f, s.vals)
+		return
+	}
+	s.evalFrameDelta(pat, ps, good.Nodes[u], f)
+}
+
+// FrameDelta computes the faulty values of one frame from a fault-free
+// baseline of the same frame, by copying the baseline and event-driven
+// propagation of the differences (the present-state differences and the
+// fault site). The returned slice is the simulator's scratch buffer,
+// valid until the next call.
+func (s *Simulator) FrameDelta(pat Pattern, ps []logic.Val, goodVals []logic.Val, f *fault.Fault) []logic.Val {
+	if f == nil {
+		f = &noFault
+	}
+	s.evalFrameDelta(pat, ps, goodVals, f)
+	return s.vals
+}
+
+// evalFrameDelta computes faulty frame values by copying the fault-free
+// frame and propagating only the gates whose inputs differ. This is the
+// classic single-fault-propagation speedup: activity in a faulty frame is
+// typically confined to a small cone.
+func (s *Simulator) evalFrameDelta(pat Pattern, ps []logic.Val, goodVals []logic.Val, f *fault.Fault) {
+	c := s.c
+	copy(s.vals, goodVals)
+	// Seed: primary inputs (stem faults there), present-state differences,
+	// the fault site itself.
+	push := func(g netlist.GateID) {
+		if !s.dirty[g] {
+			s.dirty[g] = true
+			lvl := c.Gates[g].Level
+			s.levelQ[lvl] = append(s.levelQ[lvl], g)
+		}
+	}
+	touch := func(id netlist.NodeID, v logic.Val) {
+		if s.vals[id] == v {
+			return
+		}
+		s.vals[id] = v
+		for _, pin := range c.Nodes[id].Fanouts {
+			push(pin.Gate)
+		}
+	}
+	for i, id := range c.Inputs {
+		touch(id, f.Observed(id, pat[i]))
+	}
+	for i, ff := range c.FFs {
+		touch(ff.Q, f.Observed(ff.Q, ps[i]))
+	}
+	if f.Node != netlist.NoNode {
+		if f.IsStem() {
+			if v, ok := f.StuckNode(f.Node); ok {
+				touch(f.Node, v)
+			}
+			// The driver of a stuck node must never overwrite it; it is
+			// simply never re-evaluated into the node (see below).
+		} else {
+			push(f.Gate)
+		}
+	}
+	for lvl := int32(1); lvl <= c.MaxLevel; lvl++ {
+		q := s.levelQ[lvl]
+		s.levelQ[lvl] = q[:0]
+		for _, gi := range q {
+			s.dirty[gi] = false
+			g := &c.Gates[gi]
+			v := evalGate(c, g, gi, f, s.vals)
+			touch(g.Out, v)
+		}
+	}
+}

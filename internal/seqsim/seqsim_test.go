@@ -1,0 +1,401 @@
+package seqsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// counterBench is a 1-bit toggle with enable: q' = q XOR en, out = q.
+const counterBench = `
+INPUT(en)
+OUTPUT(obs)
+q = DFF(d)
+d = XOR(q, en)
+obs = BUFF(q)
+`
+
+func mustParse(t *testing.T, name, src string) *netlist.Circuit {
+	t.Helper()
+	c, err := bench.ParseString(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustSeq(t *testing.T, lines ...string) Sequence {
+	t.Helper()
+	seq, err := ParseSequence(lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestParseSequence(t *testing.T) {
+	seq, err := ParseSequence([]string{"10x", "011"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || seq[0][2] != logic.X || seq[1][0] != logic.Zero {
+		t.Fatal("sequence parsed wrong")
+	}
+	if _, err := ParseSequence([]string{"1?0"}); err == nil {
+		t.Error("bad pattern accepted")
+	}
+}
+
+func TestFaultFreeToggleStaysX(t *testing.T) {
+	// With unknown initial state, q stays X no matter the input.
+	c := mustParse(t, "ctr", counterBench)
+	s := New(c)
+	tr, err := s.FaultFree(mustSeq(t, "1", "0", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 3; u++ {
+		if tr.Outputs[u][0] != logic.X {
+			t.Errorf("output at %d = %v, want x", u, tr.Outputs[u][0])
+		}
+	}
+	if tr.Len() != 3 || len(tr.States) != 4 {
+		t.Error("trace lengths wrong")
+	}
+}
+
+// resetBench has a synchronizing input: r=0 forces q to 0.
+const resetBench = `
+INPUT(r)
+INPUT(x)
+OUTPUT(obs)
+q = DFF(d)
+d = AND(r, t)
+t = XOR(q, x)
+obs = BUFF(q)
+`
+
+func TestFaultFreeSynchronizes(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	s := New(c)
+	tr, err := s.FaultFree(mustSeq(t, "00", "11", "10"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After r=0 at time 0, q=0 at time 1; then d = AND(1, XOR(0,1)) = 1,
+	// so q=1 at time 2.
+	if tr.States[1][0] != logic.Zero {
+		t.Errorf("state[1] = %v, want 0", tr.States[1][0])
+	}
+	if tr.States[2][0] != logic.One {
+		t.Errorf("state[2] = %v, want 1", tr.States[2][0])
+	}
+	if tr.Outputs[1][0] != logic.Zero || tr.Outputs[2][0] != logic.One {
+		t.Errorf("outputs = %v %v, want 0 1", tr.Outputs[1][0], tr.Outputs[2][0])
+	}
+}
+
+func TestKeepNodes(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	s := New(c)
+	tr, err := s.Run(mustSeq(t, "00", "11"), nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Nodes) != 2 {
+		t.Fatalf("Nodes frames = %d, want 2", len(tr.Nodes))
+	}
+	d, _ := c.NodeByName("d")
+	if tr.Nodes[0][d] != logic.Zero {
+		t.Errorf("node d at time 0 = %v, want 0", tr.Nodes[0][d])
+	}
+}
+
+func TestPatternWidthChecked(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	s := New(c)
+	if _, err := s.FaultFree(mustSeq(t, "0")); err == nil {
+		t.Error("narrow pattern accepted")
+	}
+	good, _ := s.FaultFree(mustSeq(t, "00"))
+	if _, err := s.RunFaults(mustSeq(t, "0"), good, fault.List(c)); err == nil {
+		t.Error("narrow pattern accepted by RunFaults")
+	}
+}
+
+func TestStemFaultDetected(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	s := New(c)
+	T := mustSeq(t, "00", "10", "10")
+	good, err := s.FaultFree(T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fault: d stuck-at-1. Fault-free: q becomes 0 at time 1 and obs=0.
+	// Faulty: q is 1 from time 1 on, obs=1. Detected at time 1.
+	d, _ := c.NodeByName("d")
+	f := fault.Fault{Node: d, Gate: netlist.NoGate, Stuck: logic.One}
+	bad, err := s.Run(T, &f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, ok := FirstDetection(good, bad)
+	if !ok {
+		t.Fatal("fault not detected")
+	}
+	if det.Time != 1 || det.Output != 0 {
+		t.Errorf("detection at %+v, want time 1 output 0", det)
+	}
+}
+
+func TestStuckOutputNodeObserved(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	s := New(c)
+	T := mustSeq(t, "00", "10")
+	good, _ := s.FaultFree(T)
+	obs, _ := c.NodeByName("obs")
+	f := fault.Fault{Node: obs, Gate: netlist.NoGate, Stuck: logic.One}
+	bad, _ := s.Run(T, &f, false)
+	if det, ok := FirstDetection(good, bad); !ok || det.Time != 1 {
+		t.Fatalf("obs/SA1 detection = %v %v, want time 1", det, ok)
+	}
+}
+
+func TestStuckStateNodeEffective(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	q, _ := c.NodeByName("q")
+	f := fault.Fault{Node: q, Gate: netlist.NoGate, Stuck: logic.One}
+	s := New(c)
+	tr, err := s.Run(mustSeq(t, "00", "00"), &f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stuck state node is effectively 1 at every time unit, including
+	// the initial state.
+	for u, st := range tr.States {
+		if st[0] != logic.One {
+			t.Errorf("state[%d] = %v, want 1 (stuck)", u, st[0])
+		}
+	}
+	if tr.Outputs[0][0] != logic.One {
+		t.Error("stuck state not observed at output")
+	}
+}
+
+func TestBranchFaultLocal(t *testing.T) {
+	// y1 = AND(a,b), y2 = AND(a,c): branch fault on a->y1 must not
+	// disturb y2.
+	c := mustParse(t, "fan", `
+INPUT(a)
+INPUT(b)
+INPUT(c)
+OUTPUT(y1)
+OUTPUT(y2)
+y1 = AND(a, b)
+y2 = AND(a, c)
+`)
+	y1, _ := c.NodeByName("y1")
+	a, _ := c.NodeByName("a")
+	g1 := c.Nodes[y1].Driver
+	f := fault.Fault{Node: a, Gate: g1, Pin: 0, Stuck: logic.Zero}
+	s := New(c)
+	tr, err := s.Run(mustSeq(t, "111"), &f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Outputs[0][0] != logic.Zero {
+		t.Errorf("y1 = %v, want 0 (faulty)", tr.Outputs[0][0])
+	}
+	if tr.Outputs[0][1] != logic.One {
+		t.Errorf("y2 = %v, want 1 (unaffected)", tr.Outputs[0][1])
+	}
+}
+
+func TestRunFaultsMatchesFirstDetection(t *testing.T) {
+	c := mustParse(t, "rst", resetBench)
+	s := New(c)
+	T := mustSeq(t, "00", "11", "10", "01")
+	good, err := s.Run(T, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.List(c)
+	results, err := s.RunFaults(T, good, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range faults {
+		bad, err := s.Run(T, &f, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		det, ok := FirstDetection(good, bad)
+		if results[i].Detected != ok {
+			t.Errorf("fault %s: RunFaults=%v, reference=%v", f.Name(c), results[i].Detected, ok)
+		}
+		if ok && results[i].At != det {
+			t.Errorf("fault %s: detection %+v, reference %+v", f.Name(c), results[i].At, det)
+		}
+	}
+}
+
+// randomCircuit builds a random sequential circuit for property tests.
+func randomCircuit(rng *rand.Rand, nPI, nFF, nGates int) (*netlist.Circuit, error) {
+	b := netlist.NewBuilder("rand")
+	var pool []netlist.NodeID
+	for i := 0; i < nPI; i++ {
+		pool = append(pool, b.Input(fmt.Sprintf("i%d", i)))
+	}
+	for i := 0; i < nFF; i++ {
+		pool = append(pool, b.FlipFlop(fmt.Sprintf("q%d", i), b.Signal(fmt.Sprintf("d%d", i))))
+	}
+	ops := []logic.Op{logic.And, logic.Nand, logic.Or, logic.Nor, logic.Xor, logic.Xnor, logic.Not, logic.Buf}
+	for i := 0; i < nGates; i++ {
+		op := ops[rng.Intn(len(ops))]
+		n := 1
+		if op != logic.Not && op != logic.Buf {
+			n = 2 + rng.Intn(2)
+		}
+		ins := make([]netlist.NodeID, n)
+		for j := range ins {
+			ins[j] = pool[rng.Intn(len(pool))]
+		}
+		var name string
+		if i < nFF {
+			name = fmt.Sprintf("d%d", i)
+		} else {
+			name = fmt.Sprintf("g%d", i)
+		}
+		pool = append(pool, b.Gate(op, name, ins...))
+	}
+	// Last few gates become outputs.
+	for i := 0; i < 3 && i < nGates-nFF; i++ {
+		b.Output(fmt.Sprintf("g%d", nGates-1-i))
+	}
+	return b.Build()
+}
+
+func randomSequence(rng *rand.Rand, width, length int) Sequence {
+	T := make(Sequence, length)
+	for u := range T {
+		p := make(Pattern, width)
+		for i := range p {
+			p[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		T[u] = p
+	}
+	return T
+}
+
+// TestDeltaMatchesFullPass is the central property test: the event-driven
+// faulty-frame evaluator must agree with the full-pass evaluator on every
+// output of every frame, for random circuits, faults and sequences.
+func TestDeltaMatchesFullPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		nGates := 10 + rng.Intn(40)
+		nFF := 4
+		if nGates < nFF {
+			continue
+		}
+		c, err := randomCircuit(rng, 3, nFF, nGates)
+		if err != nil {
+			// Random wiring can produce no gates after FF Ds; skip.
+			continue
+		}
+		T := randomSequence(rng, c.NumInputs(), 6)
+		fast := New(c)
+		slow := NewFullPass(c)
+		good, err := fast.Run(T, nil, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		faults := fault.List(c)
+		// Sample a handful of faults per circuit.
+		for k := 0; k < 12; k++ {
+			f := faults[rng.Intn(len(faults))]
+			rFast, err := fast.RunFaults(T, good, []fault.Fault{f})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rSlow, err := slow.RunFaults(T, good, []fault.Fault{f})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rFast[0].Detected != rSlow[0].Detected || (rFast[0].Detected && rFast[0].At != rSlow[0].At) {
+				t.Fatalf("trial %d fault %s: delta %+v, full %+v",
+					trial, f.Name(c), rFast[0], rSlow[0])
+			}
+			// Also compare complete traces.
+			trFast, err := fast.Run(T, &f, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trSlow, err := slow.Run(T, &f, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := range trFast.Outputs {
+				for j := range trFast.Outputs[u] {
+					if trFast.Outputs[u][j] != trSlow.Outputs[u][j] {
+						t.Fatalf("trace mismatch at time %d output %d", u, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMonotoneRefinement checks the simulation-level monotonicity
+// property: specifying an initial-state X can only refine outputs, never
+// contradict them. This underpins the soundness of state expansion.
+func TestMonotoneRefinement(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		c, err := randomCircuit(rng, 3, 4, 12+rng.Intn(20))
+		if err != nil {
+			continue
+		}
+		T := randomSequence(rng, c.NumInputs(), 5)
+		s := New(c)
+		base, err := s.FaultFree(T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Pick a random full binary initial state and resimulate by hand.
+		st := make([]logic.Val, c.NumFFs())
+		for i := range st {
+			st[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		vals := make([]logic.Val, c.NumNodes())
+		for u := range T {
+			EvalFrame(c, T[u], st, nil, vals)
+			for j, id := range c.Outputs {
+				b := base.Outputs[u][j]
+				if b.IsBinary() && vals[id] != b {
+					t.Fatalf("trial %d: binary output changed under refinement at t=%d", trial, u)
+				}
+			}
+			next := make([]logic.Val, c.NumFFs())
+			for i, ff := range c.FFs {
+				next[i] = vals[ff.D]
+			}
+			st = next
+		}
+	}
+}
+
+func TestFirstDetectionNone(t *testing.T) {
+	c := mustParse(t, "ctr", counterBench)
+	s := New(c)
+	T := mustSeq(t, "1", "0")
+	good, _ := s.FaultFree(T)
+	if _, ok := FirstDetection(good, good); ok {
+		t.Error("detection against itself")
+	}
+}

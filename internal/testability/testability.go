@@ -1,0 +1,279 @@
+// Package testability computes SCOAP-style testability measures for
+// sequential circuits: CC0/CC1 controllability (the effort to set a node
+// to 0/1 from the primary inputs) and CO observability (the effort to
+// propagate a node's value to a primary output), with flip-flops handled
+// by fixpoint iteration as in sequential SCOAP.
+//
+// The measures are the classic heuristics [Goldstein, 1979]; in this
+// repository they diagnose the synthetic benchmark circuits (uncontrollable
+// or unobservable regions depress fault coverage) and rank fault sites.
+package testability
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Inf is the saturation value for unreachable measures (for example, the
+// controllabilities of a pure feedback loop).
+const Inf = int32(1) << 28
+
+// Measures holds the per-node testability values.
+type Measures struct {
+	// CC0[n] and CC1[n] estimate the number of line assignments needed to
+	// set node n to 0 / 1.
+	CC0, CC1 []int32
+	// CO[n] estimates the number of line assignments needed to propagate
+	// node n's value to a primary output.
+	CO []int32
+}
+
+// sat adds with saturation at Inf.
+func sat(a, b int32) int32 {
+	s := a + b
+	if s >= Inf || s < 0 {
+		return Inf
+	}
+	return s
+}
+
+// Compute returns the SCOAP measures for the circuit. Flip-flop
+// controllability and observability iterate to a fixpoint (the measures
+// are monotonically decreasing from the Inf start, so iteration
+// terminates).
+func Compute(c *netlist.Circuit) *Measures {
+	n := c.NumNodes()
+	m := &Measures{
+		CC0: make([]int32, n),
+		CC1: make([]int32, n),
+		CO:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		m.CC0[i], m.CC1[i], m.CO[i] = Inf, Inf, Inf
+	}
+	for _, id := range c.Inputs {
+		m.CC0[id], m.CC1[id] = 1, 1
+	}
+	// Controllability fixpoint: combinational sweep + flip-flop transfer.
+	for changed := true; changed; {
+		changed = false
+		for _, gi := range c.Order {
+			g := &c.Gates[gi]
+			cc0, cc1 := gateControllability(m, g)
+			if cc0 < m.CC0[g.Out] {
+				m.CC0[g.Out] = cc0
+				changed = true
+			}
+			if cc1 < m.CC1[g.Out] {
+				m.CC1[g.Out] = cc1
+				changed = true
+			}
+		}
+		for _, ff := range c.FFs {
+			// Latching through the flip-flop costs one time frame.
+			if v := sat(m.CC0[ff.D], 1); v < m.CC0[ff.Q] {
+				m.CC0[ff.Q] = v
+				changed = true
+			}
+			if v := sat(m.CC1[ff.D], 1); v < m.CC1[ff.Q] {
+				m.CC1[ff.Q] = v
+				changed = true
+			}
+		}
+	}
+	// Observability fixpoint: primary outputs are free; walk backward.
+	for _, id := range c.Outputs {
+		m.CO[id] = 0
+	}
+	for changed := true; changed; {
+		changed = false
+		for k := len(c.Order) - 1; k >= 0; k-- {
+			g := &c.Gates[c.Order[k]]
+			for pi := range g.In {
+				if v := pinObservability(m, g, pi); v < m.CO[g.In[pi]] {
+					m.CO[g.In[pi]] = v
+					changed = true
+				}
+			}
+		}
+		for _, ff := range c.FFs {
+			if v := sat(m.CO[ff.Q], 1); v < m.CO[ff.D] {
+				m.CO[ff.D] = v
+				changed = true
+			}
+		}
+	}
+	return m
+}
+
+// gateControllability computes (CC0, CC1) of a gate output from its
+// input measures using the classic SCOAP rules.
+func gateControllability(m *Measures, g *netlist.Gate) (cc0, cc1 int32) {
+	switch g.Op {
+	case logic.Const0:
+		return 0, Inf
+	case logic.Const1:
+		return Inf, 0
+	case logic.Buf:
+		return sat(m.CC0[g.In[0]], 1), sat(m.CC1[g.In[0]], 1)
+	case logic.Not:
+		return sat(m.CC1[g.In[0]], 1), sat(m.CC0[g.In[0]], 1)
+	case logic.And, logic.Nand, logic.Or, logic.Nor:
+		// controlled: one input at the controlling value (cheapest);
+		// non-controlled: all inputs at the non-controlling value.
+		var ctrlCC, nonCC []int32
+		if g.Op == logic.And || g.Op == logic.Nand {
+			ctrlCC, nonCC = m.CC0, m.CC1
+		} else {
+			ctrlCC, nonCC = m.CC1, m.CC0
+		}
+		minCtrl, sumNon := Inf, int32(1)
+		for _, in := range g.In {
+			if ctrlCC[in] < minCtrl {
+				minCtrl = ctrlCC[in]
+			}
+			sumNon = sat(sumNon, nonCC[in])
+		}
+		controlled := sat(minCtrl, 1)
+		nonControlled := sumNon
+		out0, out1 := controlled, nonControlled // AND/OR orientation below
+		switch g.Op {
+		case logic.And:
+			out0, out1 = controlled, nonControlled
+		case logic.Nand:
+			out0, out1 = nonControlled, controlled
+		case logic.Or:
+			out0, out1 = nonControlled, controlled
+		case logic.Nor:
+			out0, out1 = controlled, nonControlled
+		}
+		return out0, out1
+	case logic.Xor, logic.Xnor:
+		// Dynamic program over parity: cost[p] is the cheapest way to set
+		// the inputs with parity p.
+		even, odd := int32(0), Inf
+		for _, in := range g.In {
+			e2 := minInt32(sat(even, m.CC0[in]), sat(odd, m.CC1[in]))
+			o2 := minInt32(sat(even, m.CC1[in]), sat(odd, m.CC0[in]))
+			even, odd = e2, o2
+		}
+		if g.Op == logic.Xor {
+			return sat(even, 1), sat(odd, 1)
+		}
+		return sat(odd, 1), sat(even, 1)
+	}
+	return Inf, Inf
+}
+
+// pinObservability computes the observability of gate input pin pi: the
+// cost of propagating that pin through the gate plus the gate output's
+// own observability.
+func pinObservability(m *Measures, g *netlist.Gate, pi int) int32 {
+	co := m.CO[g.Out]
+	if co >= Inf {
+		return Inf
+	}
+	cost := sat(co, 1)
+	switch g.Op {
+	case logic.Buf, logic.Not:
+		return cost
+	case logic.And, logic.Nand, logic.Or, logic.Nor:
+		// The other inputs must hold the non-controlling value.
+		nonCC := m.CC1
+		if g.Op == logic.Or || g.Op == logic.Nor {
+			nonCC = m.CC0
+		}
+		for pj, in := range g.In {
+			if pj != pi {
+				cost = sat(cost, nonCC[in])
+			}
+		}
+		return cost
+	case logic.Xor, logic.Xnor:
+		// The other inputs must merely be set to known values.
+		for pj, in := range g.In {
+			if pj != pi {
+				cost = sat(cost, minInt32(m.CC0[in], m.CC1[in]))
+			}
+		}
+		return cost
+	}
+	return Inf
+}
+
+func minInt32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Summary aggregates whole-circuit statistics for diagnostics.
+type Summary struct {
+	Nodes                        int
+	UncontrollableNodes          int // CC0 or CC1 saturated
+	UnobservableNodes            int // CO saturated
+	MaxFiniteCC                  int32
+	MaxFiniteCO                  int32
+	MeanCC0, MeanCC1             float64
+	MeanCO                       float64
+	HardestControllable          netlist.NodeID
+	HardestObservable            netlist.NodeID
+	finiteCCCount, finiteCOCount int
+}
+
+// Summarize computes the summary over all nodes.
+func (m *Measures) Summarize(c *netlist.Circuit) Summary {
+	s := Summary{Nodes: c.NumNodes(), HardestControllable: netlist.NoNode, HardestObservable: netlist.NoNode}
+	var sum0, sum1, sumO float64
+	for n := 0; n < c.NumNodes(); n++ {
+		cc0, cc1, co := m.CC0[n], m.CC1[n], m.CO[n]
+		if cc0 >= Inf || cc1 >= Inf {
+			s.UncontrollableNodes++
+		} else {
+			worst := maxInt32(cc0, cc1)
+			if worst > s.MaxFiniteCC {
+				s.MaxFiniteCC = worst
+				s.HardestControllable = netlist.NodeID(n)
+			}
+			sum0 += float64(cc0)
+			sum1 += float64(cc1)
+			s.finiteCCCount++
+		}
+		if co >= Inf {
+			s.UnobservableNodes++
+		} else {
+			if co > s.MaxFiniteCO {
+				s.MaxFiniteCO = co
+				s.HardestObservable = netlist.NodeID(n)
+			}
+			sumO += float64(co)
+			s.finiteCOCount++
+		}
+	}
+	if s.finiteCCCount > 0 {
+		s.MeanCC0 = sum0 / float64(s.finiteCCCount)
+		s.MeanCC1 = sum1 / float64(s.finiteCCCount)
+	}
+	if s.finiteCOCount > 0 {
+		s.MeanCO = sumO / float64(s.finiteCOCount)
+	}
+	return s
+}
+
+// String renders the summary.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"nodes=%d uncontrollable=%d unobservable=%d maxCC=%d maxCO=%d meanCC0=%.1f meanCC1=%.1f meanCO=%.1f",
+		s.Nodes, s.UncontrollableNodes, s.UnobservableNodes,
+		s.MaxFiniteCC, s.MaxFiniteCO, s.MeanCC0, s.MeanCC1, s.MeanCO)
+}
+
+func maxInt32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+package tgen
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(5, 20, 7)
+	b := Random(5, 20, 7)
+	if len(a) != 20 || len(a[0]) != 5 {
+		t.Fatal("wrong shape")
+	}
+	for u := range a {
+		for i := range a[u] {
+			if a[u][i] != b[u][i] {
+				t.Fatal("Random nondeterministic")
+			}
+			if !a[u][i].IsBinary() {
+				t.Fatal("Random produced X")
+			}
+		}
+	}
+	c := Random(5, 20, 8)
+	same := true
+	for u := range a {
+		for i := range a[u] {
+			if a[u][i] != c[u][i] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical sequences")
+	}
+}
+
+func TestGreedyConfigValidate(t *testing.T) {
+	if err := DefaultGreedyConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []GreedyConfig{
+		{BlockLen: 0, Candidates: 1, MaxLen: 4, Stall: 1},
+		{BlockLen: 2, Candidates: 0, MaxLen: 4, Stall: 1},
+		{BlockLen: 8, Candidates: 1, MaxLen: 4, Stall: 1},
+		{BlockLen: 2, Candidates: 1, MaxLen: 4, Stall: 0},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Greedy(nil, nil, bad[0]); err == nil {
+		t.Error("Greedy accepted invalid config")
+	}
+}
+
+// coverage counts conventionally detected faults for a sequence.
+func coverage(t *testing.T, c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) int {
+	t.Helper()
+	s := seqsim.New(c)
+	good, err := s.Run(T, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunFaults(T, good, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, r := range res {
+		if r.Detected {
+			n++
+		}
+	}
+	return n
+}
+
+func TestGreedyDetectsAndIsDeterministic(t *testing.T) {
+	c, err := bench.ParseString("g", `
+INPUT(r)
+INPUT(x)
+OUTPUT(o1)
+OUTPUT(o2)
+q = DFF(d)
+d = AND(r, t)
+t = XOR(q, x)
+o1 = BUFF(q)
+o2 = NOR(t, x)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := fault.CollapsedList(c)
+	cfg := GreedyConfig{BlockLen: 2, Candidates: 6, MaxLen: 40, Stall: 4, Seed: 3}
+	T1, err := Greedy(c, faults, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T2, err := Greedy(c, faults, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(T1) == 0 {
+		t.Fatal("empty greedy sequence")
+	}
+	if len(T1) != len(T2) {
+		t.Fatal("greedy nondeterministic in length")
+	}
+	for u := range T1 {
+		if logic.FormatVals(T1[u]) != logic.FormatVals(T2[u]) {
+			t.Fatal("greedy nondeterministic in content")
+		}
+	}
+	if cov := coverage(t, c, T1, faults); cov == 0 {
+		t.Fatal("greedy sequence detects nothing")
+	}
+}
+
+// TestGreedyBeatsRandomPerPattern checks the HITEC-like property: the
+// greedy sequence achieves at least the coverage of an equal-length
+// random sequence on a suite circuit.
+func TestGreedyBeatsRandomPerPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("greedy generation in -short mode")
+	}
+	e, err := circuits.SuiteEntryByName("sg298")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build()
+	faults := fault.CollapsedList(c)
+	cfg := GreedyConfig{BlockLen: 4, Candidates: 6, MaxLen: 48, Stall: 4, Seed: 5}
+	Tg, err := Greedy(c, faults, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Tg) == 0 {
+		t.Skip("greedy found nothing to chase on this circuit")
+	}
+	covG := coverage(t, c, Tg, faults)
+	covR := coverage(t, c, Random(c.NumInputs(), len(Tg), 5), faults)
+	if covG < covR {
+		t.Errorf("greedy coverage %d < random coverage %d at equal length", covG, covR)
+	}
+}
+
+func TestGreedyRespectsMaxLen(t *testing.T) {
+	c, err := bench.ParseString("m", `
+INPUT(a)
+OUTPUT(o)
+o = NOT(a)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := GreedyConfig{BlockLen: 3, Candidates: 2, MaxLen: 7, Stall: 100, Seed: 1}
+	T, err := Greedy(c, fault.CollapsedList(c), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(T) > 7 {
+		t.Errorf("greedy length %d exceeds MaxLen 7", len(T))
+	}
+}

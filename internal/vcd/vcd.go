@@ -1,0 +1,165 @@
+// Package vcd renders simulation traces in the IEEE 1364 Value Change
+// Dump format, the lingua franca of waveform viewers. It lets a user
+// inspect fault-free and faulty machine behaviour — including the
+// unknown (x) values that are the subject of the MOT approach — in any
+// standard viewer.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+// idCode builds the short VCD identifier for variable n (printable ASCII
+// 33..126, little-endian base-94).
+func idCode(n int) string {
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(33 + n%94))
+		n /= 94
+		if n == 0 {
+			return sb.String()
+		}
+	}
+}
+
+// valChar renders a three-valued value as a VCD scalar.
+func valChar(v logic.Val) byte {
+	switch v {
+	case logic.Zero:
+		return '0'
+	case logic.One:
+		return '1'
+	}
+	return 'x'
+}
+
+// Options selects what to dump.
+type Options struct {
+	// Module is the scope name (defaults to the circuit name).
+	Module string
+	// AllNodes dumps every node; otherwise only primary inputs, primary
+	// outputs and state variables are dumped. Dumping all nodes requires
+	// a trace that retained node values.
+	AllNodes bool
+	// Timescale is the VCD timescale directive (default "1ns"); one time
+	// frame advances the clock by 10 units with the sequence pattern
+	// applied at the frame start.
+	Timescale string
+}
+
+// Write renders the trace of circuit c under test sequence T as a VCD
+// document.
+func Write(w io.Writer, c *netlist.Circuit, T seqsim.Sequence, tr *seqsim.Trace, opts Options) error {
+	if opts.AllNodes && tr.Nodes == nil {
+		return fmt.Errorf("vcd: AllNodes requires a trace with node values")
+	}
+	if len(tr.Outputs) < len(T) {
+		return fmt.Errorf("vcd: trace is shorter than the sequence")
+	}
+	module := opts.Module
+	if module == "" {
+		module = c.Name
+	}
+	timescale := opts.Timescale
+	if timescale == "" {
+		timescale = "1ns"
+	}
+
+	// Select the dumped nodes.
+	var nodes []netlist.NodeID
+	if opts.AllNodes {
+		for n := 0; n < c.NumNodes(); n++ {
+			nodes = append(nodes, netlist.NodeID(n))
+		}
+	} else {
+		nodes = append(nodes, c.Inputs...)
+		for _, ff := range c.FFs {
+			nodes = append(nodes, ff.Q)
+		}
+		nodes = append(nodes, c.Outputs...)
+	}
+
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "$date reproduction run $end\n$version motsim $end\n$timescale %s $end\n", timescale)
+	fmt.Fprintf(bw, "$scope module %s $end\n", module)
+	codes := make(map[netlist.NodeID]string, len(nodes))
+	for i, id := range nodes {
+		code := idCode(i)
+		codes[id] = code
+		fmt.Fprintf(bw, "$var wire 1 %s %s $end\n", code, sanitize(c.NodeName(id)))
+	}
+	fmt.Fprintln(bw, "$upscope $end\n$enddefinitions $end")
+
+	// valueAt resolves a node's value in frame u.
+	valueAt := func(u int, id netlist.NodeID) logic.Val {
+		if tr.Nodes != nil {
+			return tr.Nodes[u][id]
+		}
+		n := &c.Nodes[id]
+		switch {
+		case n.Kind == netlist.KindInput:
+			for i, in := range c.Inputs {
+				if in == id {
+					return T[u][i]
+				}
+			}
+		case n.Kind == netlist.KindState:
+			return tr.States[u][n.FF]
+		default:
+			for j, out := range c.Outputs {
+				if out == id {
+					return tr.Outputs[u][j]
+				}
+			}
+		}
+		return logic.X
+	}
+
+	last := make(map[netlist.NodeID]logic.Val, len(nodes))
+	fmt.Fprintln(bw, "$dumpvars")
+	for _, id := range nodes {
+		v := valueAt(0, id)
+		last[id] = v
+		fmt.Fprintf(bw, "%c%s\n", valChar(v), codes[id])
+	}
+	fmt.Fprintln(bw, "$end")
+	for u := 1; u < len(T); u++ {
+		fmt.Fprintf(bw, "#%d\n", u*10)
+		for _, id := range nodes {
+			v := valueAt(u, id)
+			if v != last[id] {
+				last[id] = v
+				fmt.Fprintf(bw, "%c%s\n", valChar(v), codes[id])
+			}
+		}
+	}
+	fmt.Fprintf(bw, "#%d\n", len(T)*10)
+	return bw.Flush()
+}
+
+// sanitize makes a signal name VCD-safe.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		}
+		return '_'
+	}, name)
+}
+
+// Format renders the VCD document as a string.
+func Format(c *netlist.Circuit, T seqsim.Sequence, tr *seqsim.Trace, opts Options) (string, error) {
+	var sb strings.Builder
+	if err := Write(&sb, c, T, tr, opts); err != nil {
+		return "", err
+	}
+	return sb.String(), nil
+}

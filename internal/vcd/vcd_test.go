@@ -1,0 +1,135 @@
+package vcd
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+)
+
+func traceOf(t *testing.T, keepNodes bool) (*netlist.Circuit, seqsim.Sequence, *seqsim.Trace) {
+	t.Helper()
+	c, err := bench.ParseString("w", `
+INPUT(r)
+INPUT(x)
+OUTPUT(obs)
+q = DFF(d)
+d = AND(r, t)
+t = XOR(q, x)
+obs = BUFF(q)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T, err := seqsim.ParseSequence([]string{"00", "11", "10"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := seqsim.New(c).Run(T, nil, keepNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, T, tr
+}
+
+func TestWriteBasicStructure(t *testing.T) {
+	c, T, tr := traceOf(t, false)
+	out, err := Format(c, T, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{
+		"$timescale 1ns $end",
+		"$scope module w $end",
+		"$var wire 1 ! r $end",
+		"$enddefinitions $end",
+		"$dumpvars",
+		"#10", "#20", "#30",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("VCD missing %q:\n%s", frag, out)
+		}
+	}
+	// Initial values: r=0, x=0, q=x, obs=x.
+	if !strings.Contains(out, "x\"") && !strings.Contains(out, "x#") {
+		t.Error("initial unknown values not dumped")
+	}
+}
+
+func TestWriteOnlyChangesAfterFirstFrame(t *testing.T) {
+	c, T, tr := traceOf(t, false)
+	out, err := Format(c, T, tr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q initializes to 0 at time 1 (r=0 forces d=0); the change must be
+	// dumped in the #10 section exactly once.
+	sections := strings.Split(out, "#10")
+	if len(sections) != 2 {
+		t.Fatalf("expected one #10 marker, got %d", len(sections)-1)
+	}
+}
+
+func TestWriteAllNodes(t *testing.T) {
+	c, T, tr := traceOf(t, true)
+	out, err := Format(c, T, tr, Options{AllNodes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Internal signals t and d must appear.
+	if !strings.Contains(out, " t $end") || !strings.Contains(out, " d $end") {
+		t.Errorf("internal nodes missing:\n%s", out)
+	}
+}
+
+func TestWriteAllNodesRequiresNodeTrace(t *testing.T) {
+	c, T, tr := traceOf(t, false)
+	if _, err := Format(c, T, tr, Options{AllNodes: true}); err == nil {
+		t.Fatal("AllNodes without node values accepted")
+	}
+}
+
+func TestWriteTraceTooShort(t *testing.T) {
+	c, T, tr := traceOf(t, false)
+	longer := append(seqsim.Sequence{}, T...)
+	longer = append(longer, seqsim.Pattern{logic.Zero, logic.Zero})
+	if _, err := Format(c, longer, tr, Options{}); err == nil {
+		t.Fatal("short trace accepted")
+	}
+}
+
+func TestIDCode(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		code := idCode(i)
+		if code == "" || seen[code] {
+			t.Fatalf("idCode(%d) = %q not unique", i, code)
+		}
+		seen[code] = true
+		for j := 0; j < len(code); j++ {
+			if code[j] < 33 || code[j] > 126 {
+				t.Fatalf("idCode(%d) contains non-printable byte", i)
+			}
+		}
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	if sanitize("a->b.0/SA1") != "a__b_0_SA1" {
+		t.Errorf("sanitize wrong: %q", sanitize("a->b.0/SA1"))
+	}
+}
+
+func TestModuleOverrideAndTimescale(t *testing.T) {
+	c, T, tr := traceOf(t, false)
+	out, err := Format(c, T, tr, Options{Module: "dut", Timescale: "10ps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "$scope module dut $end") || !strings.Contains(out, "$timescale 10ps $end") {
+		t.Error("options ignored")
+	}
+}

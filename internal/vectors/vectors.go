@@ -1,0 +1,89 @@
+// Package vectors reads and writes test-sequence files: one input pattern
+// per line ('0', '1', 'x'), '#' comments, blank lines ignored — the plain
+// format used by classic sequential test generators.
+package vectors
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/logic"
+	"repro/internal/seqsim"
+)
+
+// Read parses a vector file from r. Every pattern must have the same
+// width.
+func Read(r io.Reader) (seqsim.Sequence, error) {
+	sc := bufio.NewScanner(r)
+	var T seqsim.Sequence
+	lineNo := 0
+	width := -1
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := logic.ParseVals(line)
+		if err != nil {
+			return nil, fmt.Errorf("vectors: line %d: %w", lineNo, err)
+		}
+		if width < 0 {
+			width = len(p)
+		} else if len(p) != width {
+			return nil, fmt.Errorf("vectors: line %d: pattern width %d, want %d", lineNo, len(p), width)
+		}
+		T = append(T, seqsim.Pattern(p))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("vectors: %w", err)
+	}
+	return T, nil
+}
+
+// ReadFile parses a vector file from disk.
+func ReadFile(path string) (seqsim.Sequence, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Write renders a test sequence, one pattern per line.
+func Write(w io.Writer, T seqsim.Sequence) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# %d patterns\n", len(T))
+	for _, p := range T {
+		fmt.Fprintln(bw, logic.FormatVals(p))
+	}
+	return bw.Flush()
+}
+
+// WriteFile writes a test sequence to disk.
+func WriteFile(path string, T seqsim.Sequence) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, T); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Format renders a test sequence as a string.
+func Format(T seqsim.Sequence) string {
+	var sb strings.Builder
+	_ = Write(&sb, T)
+	return sb.String()
+}

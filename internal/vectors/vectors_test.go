@@ -1,0 +1,88 @@
+package vectors
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/seqsim"
+)
+
+func TestReadBasic(t *testing.T) {
+	src := `
+# header comment
+1011
+0x10  # trailing comment
+
+1111
+`
+	T, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(T) != 3 {
+		t.Fatalf("len = %d, want 3", len(T))
+	}
+	if T[1][1] != logic.X {
+		t.Error("x value not parsed")
+	}
+}
+
+func TestReadWidthMismatch(t *testing.T) {
+	if _, err := Read(strings.NewReader("101\n10\n")); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+}
+
+func TestReadBadChar(t *testing.T) {
+	_, err := Read(strings.NewReader("101\n1?1\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("bad char error = %v, want line info", err)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	T := seqsim.Sequence{
+		{logic.One, logic.Zero, logic.X},
+		{logic.Zero, logic.Zero, logic.One},
+	}
+	text := Format(T)
+	back, err := Read(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(T) {
+		t.Fatal("round trip changed length")
+	}
+	for u := range T {
+		if logic.FormatVals(back[u]) != logic.FormatVals(T[u]) {
+			t.Fatal("round trip changed values")
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "seq.vec")
+	T := seqsim.Sequence{{logic.One}, {logic.Zero}}
+	if err := WriteFile(path, T); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0][0] != logic.One {
+		t.Fatal("file round trip wrong")
+	}
+	if _, err := ReadFile(filepath.Join(t.TempDir(), "missing.vec")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	T, err := Read(strings.NewReader("# nothing\n"))
+	if err != nil || len(T) != 0 {
+		t.Fatalf("empty file: %v %d", err, len(T))
+	}
+}

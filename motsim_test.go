@@ -1,0 +1,193 @@
+package motsim
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestBuiltinCircuits(t *testing.T) {
+	for _, name := range []string{"s27", "fig4", "intro", "table1"} {
+		c, err := BuiltinCircuit(name)
+		if err != nil {
+			t.Fatalf("BuiltinCircuit(%s): %v", name, err)
+		}
+		if c.Name != name {
+			t.Errorf("circuit name = %q, want %q", c.Name, name)
+		}
+	}
+	if _, err := BuiltinCircuit("nope"); err == nil {
+		t.Error("unknown circuit accepted")
+	}
+	if len(BuiltinNames()) < 17 {
+		t.Error("BuiltinNames too short")
+	}
+}
+
+func TestBenchFileRoundTrip(t *testing.T) {
+	c, err := BuiltinCircuit("s27")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "s27.bench")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBench(f, c); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	back, err := LoadBench(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "s27" {
+		t.Errorf("loaded circuit named %q", back.Name)
+	}
+	if back.NumGates() != c.NumGates() || back.NumFFs() != c.NumFFs() {
+		t.Error("round trip changed structure")
+	}
+	if _, err := LoadBench(filepath.Join(t.TempDir(), "missing.bench")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseBench(t *testing.T) {
+	c, err := ParseBench("t", strings.NewReader("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n"))
+	if err != nil || c.NumGates() != 1 {
+		t.Fatalf("ParseBench: %v", err)
+	}
+}
+
+func TestEndToEndIntro(t *testing.T) {
+	c, err := BuiltinCircuit("intro")
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := make(Sequence, 3)
+	for u := range T {
+		T[u] = Pattern{Zero}
+	}
+	sim, err := New(c, T, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(CollapsedFaults(c), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MOT < 1 {
+		t.Fatalf("expected MOT detections on intro, got %+v", res)
+	}
+	if res.Detected() != res.Conv+res.MOT {
+		t.Error("totals inconsistent")
+	}
+}
+
+func TestFaultLists(t *testing.T) {
+	c, _ := BuiltinCircuit("s27")
+	full := Faults(c)
+	collapsed := CollapsedFaults(c)
+	if len(collapsed) >= len(full) || len(collapsed) == 0 {
+		t.Errorf("collapsed=%d full=%d", len(collapsed), len(full))
+	}
+}
+
+func TestRandomSequenceShape(t *testing.T) {
+	c, _ := BuiltinCircuit("s27")
+	T := RandomSequence(c, 10, 3)
+	if len(T) != 10 || len(T[0]) != c.NumInputs() {
+		t.Fatal("wrong sequence shape")
+	}
+}
+
+func TestFrameWalkthrough(t *testing.T) {
+	// The Figure 3 headline number through the public API.
+	c, _ := BuiltinCircuit("s27")
+	pat := Pattern{One, Zero, One, One}
+	base := make([]Val, c.NumNodes())
+	EvalFrame(c, pat, []Val{X, X, X}, nil, base)
+	total := 0
+	for _, alpha := range []Val{Zero, One} {
+		fr := NewFrame(c, nil, base)
+		if !fr.AssignNextState(1, alpha) || !fr.ImplyTwoPass() {
+			t.Fatal("unexpected conflict")
+		}
+		if fr.Output(0).IsBinary() {
+			total++
+		}
+		for j := 0; j < c.NumFFs(); j++ {
+			if fr.NextState(j).IsBinary() {
+				total++
+			}
+		}
+	}
+	if total != 7 {
+		t.Fatalf("Figure 3 count = %d, want 7", total)
+	}
+}
+
+func TestGenerateViaFacade(t *testing.T) {
+	c, err := Generate(GenParams{Name: "t", Inputs: 4, Outputs: 2, FFs: 4, FreeFFs: 1, Gates: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumFFs() != 4 {
+		t.Error("generated shape wrong")
+	}
+}
+
+func TestSuiteViaFacade(t *testing.T) {
+	if len(Suite()) != 13 {
+		t.Error("suite size wrong")
+	}
+}
+
+func TestGreedyViaFacade(t *testing.T) {
+	c, _ := BuiltinCircuit("s27")
+	cfg := DefaultGreedyConfig()
+	cfg.MaxLen = 24
+	cfg.Seed = 2
+	T, err := GreedySequence(c, CollapsedFaults(c), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(T) == 0 || len(T) > 24 {
+		t.Fatalf("greedy length %d", len(T))
+	}
+}
+
+func TestVectorsViaFacade(t *testing.T) {
+	T, err := ReadVectors(strings.NewReader("10\n01\n"))
+	if err != nil || len(T) != 2 {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteVectors(&sb, T); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadVectorsFile(writeTemp(t, sb.String()))
+	if err != nil || len(back) != 2 {
+		t.Fatal(err)
+	}
+}
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "v.vec")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestConfigsViaFacade(t *testing.T) {
+	if !DefaultConfig().UseBackwardImplications {
+		t.Error("default config must enable backward implications")
+	}
+	if BaselineConfig().UseBackwardImplications {
+		t.Error("baseline config must disable backward implications")
+	}
+}
