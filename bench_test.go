@@ -225,6 +225,48 @@ func BenchmarkHITECStyle(b *testing.B) {
 	}
 }
 
+// --- Prescreen: batched bit-parallel conventional stage ---
+
+// benchPrescreen measures the whole-list pipeline on a >64-fault circuit
+// with the conventional prescreen on vs. off; the workload is otherwise
+// identical and the outcomes are asserted to agree with the stage
+// counters. sg298 is MOT-stage-heavy (prescreen gains little); sg344 is
+// conventionally-dominated (prescreen removes most serial step-0 work).
+func benchPrescreen(b *testing.B, name string, on bool) {
+	e, err := circuits.SuiteEntryByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	if len(faults) <= bitsim.Lanes {
+		b.Fatalf("need a >%d-fault circuit, got %d faults", bitsim.Lanes, len(faults))
+	}
+	cfg := core.DefaultConfig()
+	cfg.Prescreen = on
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulator(c, T, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(faults, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if on && res.Stages.PrescreenDropped != res.Conv {
+			b.Fatal("prescreen drop count disagrees with conventional detections")
+		}
+	}
+}
+
+func BenchmarkPrescreenOn_sg298(b *testing.B)  { benchPrescreen(b, "sg298", true) }
+func BenchmarkPrescreenOff_sg298(b *testing.B) { benchPrescreen(b, "sg298", false) }
+func BenchmarkPrescreenOn_sg344(b *testing.B)  { benchPrescreen(b, "sg344", true) }
+func BenchmarkPrescreenOff_sg344(b *testing.B) { benchPrescreen(b, "sg344", false) }
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationImplicationPasses compares the paper's two-pass

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	"repro"
 )
@@ -35,7 +36,8 @@ func main() {
 		full      = flag.Bool("full-faults", false, "use the uncollapsed fault list")
 		list      = flag.Bool("list", false, "list per-fault outcomes")
 		stats     = flag.Bool("stats", false, "print circuit statistics and exit")
-		workers   = flag.Int("workers", runtime.NumCPU(), "fault-simulation worker goroutines")
+		workers   = flag.Int("workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
+		prescreen = flag.Bool("prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
 		vcdPath   = flag.String("vcd", "", "dump a waveform (VCD) of the simulation to this file")
 		vcdFault  = flag.String("vcd-fault", "", "fault to inject in the VCD dump (default fault-free); use names as printed by -list")
 	)
@@ -47,7 +49,7 @@ func main() {
 		}
 		return
 	}
-	if err := run(*benchPath, *builtin, *vecPath, *randomLen, *greedy, *seed, *method, *nstates, *full, *list, *stats, *workers); err != nil {
+	if err := run(*benchPath, *builtin, *vecPath, *randomLen, *greedy, *seed, *method, *nstates, *full, *list, *stats, *workers, *prescreen); err != nil {
 		fmt.Fprintln(os.Stderr, "motfsim:", err)
 		os.Exit(1)
 	}
@@ -112,8 +114,13 @@ func loadCircuit(benchPath, builtin string) (*motsim.Circuit, error) {
 }
 
 func run(benchPath, builtin, vecPath string, randomLen int, greedy bool, seed int64,
-	method string, nstates int, full, list, stats bool, workers int) error {
+	method string, nstates int, full, list, stats bool, workers int, prescreen bool) error {
 
+	// A non-positive worker count used to reach RunParallel and silently
+	// degrade to serial execution; reject it outright.
+	if workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", workers)
+	}
 	c, err := loadCircuit(benchPath, builtin)
 	if err != nil {
 		return err
@@ -191,6 +198,7 @@ func run(benchPath, builtin, vecPath string, randomLen int, greedy bool, seed in
 		return fmt.Errorf("unknown method %q", method)
 	}
 	cfg.NStates = max(1, nstates)
+	cfg.Prescreen = prescreen
 
 	sim, err := motsim.New(c, T, cfg)
 	if err != nil {
@@ -206,6 +214,12 @@ func run(benchPath, builtin, vecPath string, randomLen int, greedy bool, seed in
 		}
 	}
 	fmt.Printf("%s: %d faults, %d patterns, method=%s\n", c.Name, res.Total, len(T), method)
+	if cfg.Prescreen {
+		fmt.Printf("  prescreen: %d bit-parallel passes dropped %d faults in %s (MOT stage %s)\n",
+			res.Stages.PrescreenPasses, res.Stages.PrescreenDropped,
+			res.Stages.PrescreenTime.Round(time.Microsecond),
+			res.Stages.MOTTime.Round(time.Microsecond))
+	}
 	fmt.Printf("  detected conventionally: %d\n", res.Conv)
 	fmt.Printf("  detected by MOT beyond conventional: %d (%d by identification alone)\n", res.MOT, res.Identified)
 	fmt.Printf("  undetected faults pruned by condition (C): %d\n", res.PrunedConditionC)

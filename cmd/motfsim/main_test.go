@@ -10,8 +10,10 @@ import (
 
 func TestRunMethods(t *testing.T) {
 	for _, method := range []string{"conventional", "lowcomplexity", "baseline", "proposed"} {
-		if err := run("", "s27", "", 16, false, 7, method, 64, false, false, false, 1); err != nil {
-			t.Errorf("method %s: %v", method, err)
+		for _, prescreen := range []bool{true, false} {
+			if err := run("", "s27", "", 16, false, 7, method, 64, false, false, false, 1, prescreen); err != nil {
+				t.Errorf("method %s (prescreen=%v): %v", method, prescreen, err)
+			}
 		}
 	}
 }
@@ -21,11 +23,13 @@ func TestRunRejects(t *testing.T) {
 		name string
 		err  func() error
 	}{
-		{"noCircuit", func() error { return run("", "", "", 8, false, 1, "proposed", 64, false, false, false, 1) }},
-		{"bothCircuits", func() error { return run("x.bench", "s27", "", 8, false, 1, "proposed", 64, false, false, false, 1) }},
-		{"unknownCircuit", func() error { return run("", "bogus", "", 8, false, 1, "proposed", 64, false, false, false, 1) }},
-		{"noSequence", func() error { return run("", "s27", "", 0, false, 1, "proposed", 64, false, false, false, 1) }},
-		{"badMethod", func() error { return run("", "s27", "", 8, false, 1, "frob", 64, false, false, false, 1) }},
+		{"noCircuit", func() error { return run("", "", "", 8, false, 1, "proposed", 64, false, false, false, 1, true) }},
+		{"bothCircuits", func() error { return run("x.bench", "s27", "", 8, false, 1, "proposed", 64, false, false, false, 1, true) }},
+		{"unknownCircuit", func() error { return run("", "bogus", "", 8, false, 1, "proposed", 64, false, false, false, 1, true) }},
+		{"noSequence", func() error { return run("", "s27", "", 0, false, 1, "proposed", 64, false, false, false, 1, true) }},
+		{"badMethod", func() error { return run("", "s27", "", 8, false, 1, "frob", 64, false, false, false, 1, true) }},
+		{"zeroWorkers", func() error { return run("", "s27", "", 8, false, 1, "proposed", 64, false, false, false, 0, true) }},
+		{"negativeWorkers", func() error { return run("", "s27", "", 8, false, 1, "proposed", 64, false, false, false, -4, true) }},
 	}
 	for _, tc := range cases {
 		if tc.err() == nil {
@@ -40,19 +44,19 @@ func TestRunWithVectorsAndList(t *testing.T) {
 	if err := os.WriteFile(vec, []byte("1011\n0110\n1111\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "s27", vec, 0, false, 1, "proposed", 64, true, true, false, 1); err != nil {
+	if err := run("", "s27", vec, 0, false, 1, "proposed", 64, true, true, false, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStatsOnly(t *testing.T) {
-	if err := run("", "s27", "", 0, false, 1, "proposed", 64, false, false, true, 1); err != nil {
+	if err := run("", "s27", "", 0, false, 1, "proposed", 64, false, false, true, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGreedy(t *testing.T) {
-	if err := run("", "s27", "", 16, true, 3, "baseline", 16, false, false, false, 1); err != nil {
+	if err := run("", "s27", "", 16, true, 3, "baseline", 16, false, false, false, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -72,7 +76,7 @@ func TestRunBenchFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(path, "", "", 8, false, 1, "conventional", 64, false, false, false, 1); err != nil {
+	if err := run(path, "", "", 8, false, 1, "conventional", 64, false, false, false, 1, true); err != nil {
 		t.Fatal(err)
 	}
 }

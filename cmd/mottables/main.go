@@ -31,16 +31,28 @@ func main() {
 		paper    = flag.Bool("paper", true, "append published values in brackets (text mode)")
 		skipNA   = flag.Bool("skip-na-baseline", false, "skip the [4] baseline on scaled circuits (paper reports NA there)")
 		verbose  = flag.Bool("v", false, "print per-circuit progress")
-		hitecOn  = flag.String("hitec-circuit", "sg5378", "suite circuit for the deterministic-sequence experiment")
-		workers  = flag.Int("workers", runtime.NumCPU(), "fault-simulation worker goroutines")
+		hitecOn   = flag.String("hitec-circuit", "sg5378", "suite circuit for the deterministic-sequence experiment")
+		workers   = flag.Int("workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
+		prescreen = flag.Bool("prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
 	)
 	flag.Parse()
+	if *workers < 1 {
+		// A non-positive count used to reach RunParallel and silently run
+		// serially; reject it like any other invalid flag value.
+		fmt.Fprintf(os.Stderr, "mottables: -workers must be at least 1, got %d\n", *workers)
+		os.Exit(2)
+	}
 
 	var names []string
 	if *circuits != "" {
 		names = strings.Split(*circuits, ",")
 	}
-	opts := experiments.Options{NStates: *nstates, SkipBaselineScaled: *skipNA, Workers: *workers}
+	opts := experiments.Options{
+		NStates:            *nstates,
+		SkipBaselineScaled: *skipNA,
+		Workers:            *workers,
+		DisablePrescreen:   !*prescreen,
+	}
 	if *verbose {
 		last := ""
 		opts.Progress = func(circuit string, done, total int) {

@@ -10,6 +10,8 @@ package bitsim
 import (
 	"fmt"
 	"math/bits"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -98,7 +100,10 @@ type branchForce struct {
 type batch struct {
 	c      *netlist.Circuit
 	faults []fault.Fault
-	stems  map[netlist.NodeID]stemForce
+	// stems[id] is the accumulated stem-fault injection at node id; a
+	// dense table indexed by NodeID keeps the per-gate, per-frame lookup
+	// off the map path.
+	stems []stemForce
 	// branch[gi] lists the branch-fault injections at gate gi's pins.
 	branch [][]branchForce
 	vals   []VV
@@ -113,7 +118,7 @@ func newBatch(c *netlist.Circuit, faults []fault.Fault) (*batch, error) {
 	b := &batch{
 		c:      c,
 		faults: faults,
-		stems:  map[netlist.NodeID]stemForce{},
+		stems:  make([]stemForce, c.NumNodes()),
 		branch: make([][]branchForce, c.NumGates()),
 		vals:   make([]VV, c.NumNodes()),
 		state:  make([]VV, c.NumFFs()),
@@ -121,13 +126,12 @@ func newBatch(c *netlist.Circuit, faults []fault.Fault) (*batch, error) {
 	for k, f := range faults {
 		mask := uint64(1) << uint(k+1)
 		if f.IsStem() {
-			s := b.stems[f.Node]
+			s := &b.stems[f.Node]
 			if f.Stuck == logic.One {
 				s.maskOne |= mask
 			} else {
 				s.maskZero |= mask
 			}
-			b.stems[f.Node] = s
 			continue
 		}
 		var force stemForce
@@ -183,6 +187,12 @@ func (b *batch) evalGate(gi netlist.GateID) VV {
 	return acc
 }
 
+// Batches returns the number of (Lanes-1)-fault batches needed to
+// simulate n faults.
+func Batches(n int) int {
+	return (n + Lanes - 2) / (Lanes - 1)
+}
+
 // Run simulates the test sequence for every fault (in batches of 63),
 // returning per-fault first-detection results identical to the serial
 // simulator's seqsim.RunFaults.
@@ -193,16 +203,66 @@ func Run(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) ([]seqsim.
 		if end > len(faults) {
 			end = len(faults)
 		}
-		group := faults[start:end]
-		b, err := newBatch(c, group)
-		if err != nil {
-			return nil, err
-		}
-		if err := b.run(T, results[start:end]); err != nil {
+		if err := runGroup(c, T, faults[start:end], results[start:end]); err != nil {
 			return nil, err
 		}
 	}
 	return results, nil
+}
+
+// RunParallel is Run with the independent 63-fault batches distributed
+// over up to `workers` goroutines. Results are identical to Run.
+func RunParallel(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, workers int) ([]seqsim.FaultResult, error) {
+	nBatches := Batches(len(faults))
+	if workers > nBatches {
+		workers = nBatches
+	}
+	if workers < 2 {
+		return Run(c, T, faults)
+	}
+	results := make([]seqsim.FaultResult, len(faults))
+	errs := make([]error, workers)
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				bi := int(atomic.AddInt64(&next, 1))
+				if bi >= nBatches {
+					return
+				}
+				start := bi * (Lanes - 1)
+				end := min(start+Lanes-1, len(faults))
+				if err := runGroup(c, T, faults[start:end], results[start:end]); err != nil {
+					errs[w] = err
+					// Drain the pool: push the shared index past the end so
+					// idle workers stop claiming batches.
+					atomic.StoreInt64(&next, int64(nBatches))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runGroup simulates one batch of at most Lanes-1 faults.
+func runGroup(c *netlist.Circuit, T seqsim.Sequence, group []fault.Fault, results []seqsim.FaultResult) error {
+	b, err := newBatch(c, group)
+	if err != nil {
+		return err
+	}
+	return b.run(T, results)
 }
 
 // run simulates the batch and fills results (one per fault lane).
@@ -215,6 +275,13 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult) error {
 	// when the state is loaded each frame.
 	for i := range b.state {
 		b.state[i] = VV{}
+	}
+	// allFaults masks the occupied fault lanes; once every one is
+	// resolved the remaining frames cannot change any result (the serial
+	// simulator drops faults the same way).
+	var allFaults uint64
+	for k := range results {
+		allFaults |= 2 << uint(k)
 	}
 	resolved := uint64(0)
 	for u, pat := range T {
@@ -230,11 +297,7 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult) error {
 		}
 		for _, gi := range c.Order {
 			out := c.Gates[gi].Out
-			v := b.evalGate(gi)
-			if s, ok := b.stems[out]; ok {
-				v = s.apply(v)
-			}
-			b.vals[out] = v
+			b.vals[out] = b.stems[out].apply(b.evalGate(gi))
 		}
 		// Detections: lane 0 is the fault-free machine.
 		for j, id := range c.Outputs {
@@ -256,6 +319,9 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult) error {
 				results[k-1].Detected = true
 				results[k-1].At = seqsim.Detection{Time: u, Output: j}
 			}
+		}
+		if resolved == allFaults {
+			return nil
 		}
 		// Latch the next state, observing stem faults on Q nodes.
 		for i, ff := range c.FFs {

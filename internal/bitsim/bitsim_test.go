@@ -252,3 +252,57 @@ func TestManyBatches(t *testing.T) {
 		}
 	}
 }
+
+func TestBatches(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 2, 126: 2, 127: 3}
+	for n, want := range cases {
+		if got := Batches(n); got != want {
+			t.Errorf("Batches(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestRunParallelMatchesRun checks the sharded batch runner against the
+// serial batch loop on a multi-batch fault list.
+func TestRunParallelMatchesRun(t *testing.T) {
+	c := circuits.S27()
+	T := make(seqsim.Sequence, 24)
+	rng := rand.New(rand.NewSource(41))
+	for u := range T {
+		p := make(seqsim.Pattern, 4)
+		for i := range p {
+			p[i] = logic.FromBool(rng.Intn(2) == 1)
+		}
+		T[u] = p
+	}
+	// Repeat the full list so several batches are needed.
+	var faults []fault.Fault
+	for i := 0; i < 4; i++ {
+		faults = append(faults, fault.List(c)...)
+	}
+	if Batches(len(faults)) < 2 {
+		t.Fatalf("need at least 2 batches, got %d", Batches(len(faults)))
+	}
+	serial, err := Run(c, T, faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 7} {
+		par, err := RunParallel(c, T, faults, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range faults {
+			if par[k] != serial[k] {
+				t.Fatalf("workers=%d fault %d: parallel %+v != serial %+v",
+					workers, k, par[k], serial[k])
+			}
+		}
+	}
+	// Errors propagate out of the pool.
+	bad := append(seqsim.Sequence{}, T...)
+	bad[len(bad)-1] = bad[len(bad)-1][:2]
+	if _, err := RunParallel(c, bad, faults, 4); err == nil {
+		t.Fatal("broken sequence not reported")
+	}
+}

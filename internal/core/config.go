@@ -75,6 +75,16 @@ type Config struct {
 	// no cap. Pairs are collected in ascending time order, which the
 	// selection criteria prefer anyway (N_out is non-increasing in time).
 	MaxPairs int
+	// Prescreen enables the batched bit-parallel conventional stage in
+	// Run and RunParallel: the whole fault list is first simulated 63
+	// faulty machines per word (internal/bitsim), faults detected
+	// conventionally are classified directly from the lane results, and
+	// only the survivors enter the per-fault MOT pipeline. Outcomes are
+	// identical with the prescreen off (every fault then runs the serial
+	// step 0 inside SimulateFault); the off mode exists as a cross-check
+	// fallback and is asserted bit-identical by the prescreen tests.
+	// SimulateFault itself never prescreens.
+	Prescreen bool
 	// IdentificationOnly stops the pipeline after Section 3.2: faults are
 	// credited only when the collected implication information alone
 	// proves detection, with no state expansion or resimulation. This
@@ -86,7 +96,8 @@ type Config struct {
 
 // DefaultConfig returns the configuration used in the paper's experiments:
 // N_STATES = 64, backward implications on, two-pass schedule, one time
-// unit of backward implication.
+// unit of backward implication. The bit-parallel conventional prescreen
+// (an engineering speedup the paper sets aside) is on.
 func DefaultConfig() Config {
 	return Config{
 		NStates:                 64,
@@ -95,6 +106,7 @@ func DefaultConfig() Config {
 		FixpointRounds:          8,
 		BackwardDepth:           1,
 		MaxPairs:                4096,
+		Prescreen:               true,
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/implic"
@@ -655,6 +656,31 @@ type Result struct {
 	// Expansions is the total number of sequence-duplicating expansions
 	// across all faults.
 	Expansions int
+	// Pairs is the total number of candidate (time unit, state variable)
+	// pairs collected across all faults.
+	Pairs int
+	// Sequences is the total number of state sequences at the point each
+	// fault's expansion stopped, summed over all faults.
+	Sequences int
+	// Stages instruments the whole-list pipeline stages.
+	Stages Stages
+}
+
+// Stages holds per-stage counters and wall-clock timings of a
+// whole-fault-list run (Run or RunParallel).
+type Stages struct {
+	// PrescreenPasses is the number of bit-parallel batches simulated by
+	// the conventional prescreen (zero when Config.Prescreen is off).
+	PrescreenPasses int
+	// PrescreenDropped is the number of faults classified as
+	// DetectedConventional directly from the prescreen lane results and
+	// therefore never handed to the per-fault MOT pipeline.
+	PrescreenDropped int
+	// PrescreenTime is the wall-clock duration of the prescreen stage.
+	PrescreenTime time.Duration
+	// MOTTime is the wall-clock duration of the per-fault stage (the
+	// serial step 0 for survivors plus the MOT analysis proper).
+	MOTTime time.Duration
 }
 
 // Detected returns the total number of detected faults.
@@ -671,20 +697,33 @@ func (r *Result) AvgCounters() (det, conf, extra float64) {
 }
 
 // Run simulates every fault in the list. The optional progress callback
-// is invoked after each fault.
+// is invoked after each fault. With Config.Prescreen the whole list is
+// first classified by batched bit-parallel conventional simulation and
+// only the surviving faults run the per-fault pipeline; outcomes are
+// identical either way.
 func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*Result, error) {
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
+	pre, err := s.prescreen(faults, 1, res)
+	if err != nil {
+		return nil, err
+	}
+	motStart := time.Now()
 	for k, f := range faults {
-		o, err := s.SimulateFault(f)
-		if err != nil {
-			return nil, fmt.Errorf("core: fault %s: %w", f.Name(s.c), err)
+		var o FaultOutcome
+		if pre != nil && pre[k].Detected {
+			o = FaultOutcome{Fault: f, Outcome: DetectedConventional, At: pre[k].At}
+		} else {
+			if o, err = s.SimulateFault(f); err != nil {
+				return nil, fmt.Errorf("core: fault %s: %w", f.Name(s.c), err)
+			}
 		}
 		res.tally(o)
 		if progress != nil {
 			progress(k+1, len(faults))
 		}
 	}
+	res.Stages.MOTTime = time.Since(motStart)
 	return res, nil
 }
 
@@ -705,29 +744,57 @@ func (r *Result) tally(o FaultOutcome) {
 		}
 	}
 	r.Expansions += o.Expansions
+	r.Pairs += o.Pairs
+	r.Sequences += o.Sequences
 	r.Outcomes = append(r.Outcomes, o)
 }
 
 // RunParallel simulates the fault list on `workers` goroutines. Each
 // worker clones the simulator (sharing the immutable circuit, test
 // sequence and fault-free trace); results are identical to Run and are
-// returned in fault-list order.
+// returned in fault-list order. With Config.Prescreen the bit-parallel
+// conventional stage runs first (its batches spread over the same
+// worker count) and only surviving faults are handed to the pool.
 func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func(done, total int)) (*Result, error) {
 	if workers < 2 || len(faults) < 2 {
 		return s.Run(faults, progress)
 	}
-	if workers > len(faults) {
-		workers = len(faults)
+	res := &Result{Circuit: s.c.Name, Total: len(faults)}
+	res.Outcomes = make([]FaultOutcome, 0, len(faults))
+	pre, err := s.prescreen(faults, workers, res)
+	if err != nil {
+		return nil, err
 	}
+	motStart := time.Now()
 	outcomes := make([]FaultOutcome, len(faults))
-	errs := make([]error, workers)
+	// todo lists the fault indices that survived the prescreen and need
+	// the per-fault pipeline.
+	var todo []int
+	for k := range faults {
+		if pre != nil && pre[k].Detected {
+			outcomes[k] = FaultOutcome{Fault: faults[k], Outcome: DetectedConventional, At: pre[k].At}
+			continue
+		}
+		todo = append(todo, k)
+	}
+	dropped := len(faults) - len(todo)
+	if progress != nil {
+		for d := 1; d <= dropped; d++ {
+			progress(d, len(faults))
+		}
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	errs := make([]error, max(workers, 1))
 	var (
 		nextIdx int64 = -1
+		failed  atomic.Bool
 		mu      sync.Mutex
-		count   int
+		count   = dropped
 		wg      sync.WaitGroup
 	)
-	for w := 0; w < workers; w++ {
+	for w := 0; w < max(workers, 1); w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
@@ -736,13 +803,19 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 				sim: seqsim.New(s.c),
 			}
 			for {
-				k := int(atomic.AddInt64(&nextIdx, 1))
-				if k >= len(faults) {
+				t := int(atomic.AddInt64(&nextIdx, 1))
+				if t >= len(todo) || failed.Load() {
 					return
 				}
+				k := todo[t]
 				o, err := worker.SimulateFault(faults[k])
 				if err != nil {
 					errs[w] = fmt.Errorf("core: fault %s: %w", faults[k].Name(s.c), err)
+					// Drain the pool promptly: flag the failure and push the
+					// shared index past the end so no worker claims further
+					// faults from the list.
+					failed.Store(true)
+					atomic.StoreInt64(&nextIdx, int64(len(todo)))
 					return
 				}
 				outcomes[k] = o
@@ -761,10 +834,9 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 			return nil, err
 		}
 	}
-	res := &Result{Circuit: s.c.Name, Total: len(faults)}
-	res.Outcomes = make([]FaultOutcome, 0, len(faults))
 	for _, o := range outcomes {
 		res.tally(o)
 	}
+	res.Stages.MOTTime = time.Since(motStart)
 	return res, nil
 }

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bitsim"
+	"repro/internal/fault"
+	"repro/internal/seqsim"
+)
+
+// prescreen runs the batched bit-parallel conventional stage over the
+// whole fault list when Config.Prescreen is on, recording the stage
+// counters into res. It returns one FaultResult per fault (Detected
+// entries carry the conventional detection site, identical to the serial
+// simulator's), or nil when the prescreen is disabled or there is
+// nothing to screen. Batches are distributed over up to `workers`
+// goroutines.
+func (s *Simulator) prescreen(faults []fault.Fault, workers int, res *Result) ([]seqsim.FaultResult, error) {
+	if !s.cfg.Prescreen || len(faults) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	var (
+		pre []seqsim.FaultResult
+		err error
+	)
+	if workers >= 2 {
+		pre, err = bitsim.RunParallel(s.c, s.T, faults, workers)
+	} else {
+		pre, err = bitsim.Run(s.c, s.T, faults)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: prescreen: %w", err)
+	}
+	res.Stages.PrescreenPasses = bitsim.Batches(len(faults))
+	for _, r := range pre {
+		if r.Detected {
+			res.Stages.PrescreenDropped++
+		}
+	}
+	res.Stages.PrescreenTime = time.Since(start)
+	return pre, nil
+}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bitsim"
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/seqsim"
+	"repro/internal/tgen"
+)
+
+// crossCheck runs the fault list with the prescreen on and off (serially
+// and in parallel) and asserts the outcomes are identical element by
+// element: order, classification, detection site, and every counter.
+func crossCheck(t *testing.T, c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) {
+	t.Helper()
+	on := DefaultConfig()
+	off := DefaultConfig()
+	off.Prescreen = false
+
+	simOn, err := NewSimulator(c, T, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOff, err := NewSimulator(c, T, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOn, err := simOn.Run(faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resOff, err := simOff.Run(faults, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPar, err := simOn.RunParallel(faults, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, res := range map[string]*Result{"parallel": resPar, "serial": resOn} {
+		if len(res.Outcomes) != len(resOff.Outcomes) {
+			t.Fatalf("%s: %d outcomes with prescreen, %d without", name, len(res.Outcomes), len(resOff.Outcomes))
+		}
+		for k := range res.Outcomes {
+			if res.Outcomes[k] != resOff.Outcomes[k] {
+				t.Fatalf("%s: fault %s differs with prescreen:\n  on:  %+v\n  off: %+v",
+					name, faults[k].Name(c), res.Outcomes[k], resOff.Outcomes[k])
+			}
+		}
+		if res.Conv != resOff.Conv || res.MOT != resOff.MOT || res.Sum != resOff.Sum ||
+			res.Expansions != resOff.Expansions || res.Pairs != resOff.Pairs ||
+			res.Sequences != resOff.Sequences {
+			t.Fatalf("%s: aggregates differ with prescreen", name)
+		}
+	}
+
+	// Stage counters: the prescreen must have run and dropped exactly the
+	// conventionally-detected faults; the off run records no passes.
+	if want := bitsim.Batches(len(faults)); resOn.Stages.PrescreenPasses != want {
+		t.Errorf("prescreen passes = %d, want %d", resOn.Stages.PrescreenPasses, want)
+	}
+	if resOn.Stages.PrescreenDropped != resOn.Conv {
+		t.Errorf("prescreen dropped %d faults, conventional detections = %d",
+			resOn.Stages.PrescreenDropped, resOn.Conv)
+	}
+	if resOff.Stages.PrescreenPasses != 0 || resOff.Stages.PrescreenDropped != 0 {
+		t.Errorf("prescreen-off run recorded prescreen work: %+v", resOff.Stages)
+	}
+}
+
+func TestPrescreenCrossCheckS27(t *testing.T) {
+	c := circuits.S27()
+	T := tgen.Random(c.NumInputs(), 20, 27)
+	crossCheck(t, c, T, fault.CollapsedList(c))
+}
+
+func TestPrescreenCrossCheckSuite(t *testing.T) {
+	for _, name := range []string{"sg208", "sg298"} {
+		e, err := circuits.SuiteEntryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := e.Build()
+		T := tgen.Random(c.NumInputs(), 32, e.SeqSeed)
+		crossCheck(t, c, T, fault.CollapsedList(c))
+	}
+}
+
+// TestPrescreenLaneBoundary exercises a fault list longer than one
+// 64-lane word, so the prescreen needs multiple batches and faults sit on
+// every lane position including the batch boundaries.
+func TestPrescreenLaneBoundary(t *testing.T) {
+	e, err := circuits.SuiteEntryByName("sg208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build()
+	faults := fault.List(c) // uncollapsed: well beyond 64 faults
+	if len(faults) <= bitsim.Lanes {
+		t.Fatalf("fault list too short for a lane-boundary test: %d", len(faults))
+	}
+	T := tgen.Random(c.NumInputs(), 24, e.SeqSeed)
+	crossCheck(t, c, T, faults)
+}
+
+// TestRunAggregatesPairsSequences checks that Run sums the per-fault
+// Pairs and Sequences counters like Expansions.
+func TestRunAggregatesPairsSequences(t *testing.T) {
+	c := circuits.S27()
+	T := tgen.Random(c.NumInputs(), 20, 27)
+	s, err := NewSimulator(c, T, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(fault.CollapsedList(c), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs, seqs, exps int
+	for _, o := range res.Outcomes {
+		pairs += o.Pairs
+		seqs += o.Sequences
+		exps += o.Expansions
+	}
+	if res.Pairs != pairs || res.Sequences != seqs || res.Expansions != exps {
+		t.Fatalf("aggregates: got pairs=%d seqs=%d exps=%d, want %d %d %d",
+			res.Pairs, res.Sequences, res.Expansions, pairs, seqs, exps)
+	}
+}
+
+// brokenSequence returns a copy of T whose final pattern has the wrong
+// width, so conventional simulation of any fault reaching it errors.
+func brokenSequence(T seqsim.Sequence) seqsim.Sequence {
+	bad := append(seqsim.Sequence{}, T...)
+	bad[len(bad)-1] = bad[len(bad)-1][:1]
+	return bad
+}
+
+// TestRunParallelErrorDrains checks that a worker error is propagated and
+// the pool drains instead of simulating the rest of the fault list.
+func TestRunParallelErrorDrains(t *testing.T) {
+	e, err := circuits.SuiteEntryByName("sg208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), 8, e.SeqSeed)
+	faults := fault.List(c)
+	for _, prescreen := range []bool{true, false} {
+		cfg := DefaultConfig()
+		cfg.Prescreen = prescreen
+		s, err := NewSimulator(c, T, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Break the sequence after construction: the fault-free trace is
+		// already computed, so the error surfaces inside the workers (or
+		// the prescreen), not in NewSimulator.
+		s.T = brokenSequence(s.T)
+		if _, err := s.RunParallel(faults, 4, nil); err == nil {
+			t.Errorf("prescreen=%v: broken sequence not reported", prescreen)
+		}
+		if _, err := s.Run(faults, nil); err == nil {
+			t.Errorf("prescreen=%v: serial run did not report broken sequence", prescreen)
+		}
+	}
+}

@@ -41,6 +41,10 @@ type Options struct {
 	// Workers is the number of goroutines simulating faults; values
 	// below 2 run serially. Results are identical either way.
 	Workers int
+	// DisablePrescreen turns off the bit-parallel conventional prescreen
+	// (on by default via core.DefaultConfig). Results are identical
+	// either way; disabling it exists for cross-checking and timing.
+	DisablePrescreen bool
 	// Progress, when non-nil, receives per-fault progress.
 	Progress func(circuit string, done, total int)
 }
@@ -52,6 +56,10 @@ func (o Options) configs() (core.Config, core.Config) {
 	if o.NStates > 0 {
 		p.NStates = o.NStates
 		b.NStates = o.NStates
+	}
+	if o.DisablePrescreen {
+		p.Prescreen = false
+		b.Prescreen = false
 	}
 	return p, b
 }

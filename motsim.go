@@ -70,6 +70,9 @@ type (
 	Simulator = core.Simulator
 	// Result aggregates a whole fault-list run.
 	Result = core.Result
+	// Stages holds per-stage counters and timings of a fault-list run
+	// (prescreen passes, faults dropped, wall-clock per stage).
+	Stages = core.Stages
 	// FaultOutcome is the classification of one fault.
 	FaultOutcome = core.FaultOutcome
 	// Outcome is the per-fault classification code.
@@ -99,7 +102,9 @@ const (
 )
 
 // DefaultConfig returns the paper's experimental configuration:
-// N_STATES = 64, backward implications enabled.
+// N_STATES = 64, backward implications enabled, and the bit-parallel
+// conventional prescreen on (set Config.Prescreen to false to force the
+// serial per-fault conventional stage; outcomes are identical).
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // BaselineConfig returns the configuration of the comparison procedure of
