@@ -1,0 +1,37 @@
+# Verify recipe from ROADMAP.md. `make verify` is the full gate:
+# build + tests + vet + race tests over the parallel, prescreen and
+# pooled-frame paths.
+
+GO ?= go
+
+# Test names covering code that runs concurrently or reuses pooled state:
+# RunParallel scheduling, the bit-parallel prescreen, and the trail/pool
+# cross-checks (pools must be per-worker, never shared).
+RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck
+RACE_PKGS    := ./internal/core ./internal/bitsim
+
+.PHONY: build test vet race verify bench bench-collect
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race -run '$(RACE_PATTERN)' $(RACE_PKGS)
+
+verify: build test vet race
+
+# Whole-list MOT benchmarks (Table 2 circuits) with allocation stats.
+bench:
+	$(GO) test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 .
+
+# Pair-collection and implication micro-benchmarks: pooled/trail path
+# against the retained allocate-per-pair reference.
+bench-collect:
+	$(GO) test -run xxx -bench 'CollectPairs|SimulateList' -benchmem ./internal/core
+	$(GO) test -run xxx -bench 'Imply' -benchmem ./internal/implic

@@ -12,8 +12,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -22,99 +24,116 @@ import (
 	"repro/internal/report"
 )
 
+// usageError marks invalid flag values; main reports them with exit
+// status 2 like flag-parse failures, runtime errors with status 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
 func main() {
 	var (
-		table    = flag.String("table", "all", "which table to regenerate: 2, 3, hitec, all")
-		circuits = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
-		nstates  = flag.Int("nstates", 0, "override the N_STATES expansion budget (default 64)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		paper    = flag.Bool("paper", true, "append published values in brackets (text mode)")
-		skipNA   = flag.Bool("skip-na-baseline", false, "skip the [4] baseline on scaled circuits (paper reports NA there)")
-		verbose  = flag.Bool("v", false, "print per-circuit progress")
+		table     = flag.String("table", "all", "which table to regenerate: 2, 3, hitec, all")
+		circuits  = flag.String("circuits", "", "comma-separated circuit names (default: whole suite)")
+		nstates   = flag.Int("nstates", 0, "override the N_STATES expansion budget (default 64)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		paper     = flag.Bool("paper", true, "append published values in brackets (text mode)")
+		skipNA    = flag.Bool("skip-na-baseline", false, "skip the [4] baseline on scaled circuits (paper reports NA there)")
+		verbose   = flag.Bool("v", false, "print per-circuit progress")
 		hitecOn   = flag.String("hitec-circuit", "sg5378", "suite circuit for the deterministic-sequence experiment")
 		workers   = flag.Int("workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
 		prescreen = flag.Bool("prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
 	)
 	flag.Parse()
-	if *workers < 1 {
+	err := run(os.Stdout, os.Stderr, *table, *circuits, *nstates, *csv, *paper,
+		*skipNA, *verbose, *hitecOn, *workers, *prescreen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mottables:", err)
+		if errors.As(err, &usageError{}) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+// run executes the table generation, writing tables to out and progress to
+// errw. It is main without the process plumbing so tests can drive it.
+func run(out, errw io.Writer, table, circuitList string, nstates int, csv, paper,
+	skipNA, verbose bool, hitecCircuit string, workers int, prescreen bool) error {
+	if workers < 1 {
 		// A non-positive count used to reach RunParallel and silently run
 		// serially; reject it like any other invalid flag value.
-		fmt.Fprintf(os.Stderr, "mottables: -workers must be at least 1, got %d\n", *workers)
-		os.Exit(2)
+		return usageError{fmt.Sprintf("-workers must be at least 1, got %d", workers)}
+	}
+	wantTables := table == "2" || table == "3" || table == "all"
+	wantHITEC := table == "hitec" || table == "all"
+	if !wantTables && !wantHITEC {
+		return usageError{fmt.Sprintf("unknown table %q (want 2, 3, hitec or all)", table)}
 	}
 
 	var names []string
-	if *circuits != "" {
-		names = strings.Split(*circuits, ",")
+	if circuitList != "" {
+		names = strings.Split(circuitList, ",")
 	}
 	opts := experiments.Options{
-		NStates:            *nstates,
-		SkipBaselineScaled: *skipNA,
-		Workers:            *workers,
-		DisablePrescreen:   !*prescreen,
+		NStates:            nstates,
+		SkipBaselineScaled: skipNA,
+		Workers:            workers,
+		DisablePrescreen:   !prescreen,
 	}
-	if *verbose {
+	if verbose {
 		last := ""
 		opts.Progress = func(circuit string, done, total int) {
 			if circuit != last || done == total || done%500 == 0 {
-				fmt.Fprintf(os.Stderr, "\r%-10s %6d/%d faults", circuit, done, total)
+				fmt.Fprintf(errw, "\r%-10s %6d/%d faults", circuit, done, total)
 				if done == total {
-					fmt.Fprintln(os.Stderr)
+					fmt.Fprintln(errw)
 				}
 				last = circuit
 			}
 		}
 	}
 
-	wantTables := *table == "2" || *table == "3" || *table == "all"
-	wantHITEC := *table == "hitec" || *table == "all"
-	if !wantTables && !wantHITEC {
-		fmt.Fprintf(os.Stderr, "mottables: unknown table %q (want 2, 3, hitec or all)\n", *table)
-		os.Exit(2)
-	}
-
 	if wantTables {
 		runs, err := experiments.RunSuite(names, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mottables:", err)
-			os.Exit(1)
+			return err
 		}
-		if *table == "2" || *table == "all" {
+		if table == "2" || table == "all" {
 			rows := experiments.Table2Rows(runs)
-			fmt.Println("Table 2: detected faults using random patterns (measured[paper])")
-			if *csv {
-				fmt.Print(report.CSVTable2(rows))
+			fmt.Fprintln(out, "Table 2: detected faults using random patterns (measured[paper])")
+			if csv {
+				fmt.Fprint(out, report.CSVTable2(rows))
 			} else {
-				fmt.Print(report.FormatTable2(rows, *paper))
+				fmt.Fprint(out, report.FormatTable2(rows, paper))
 			}
 			chk := report.CheckShape(rows)
-			fmt.Printf("shape: ordering(conv<=base<=prop) holds=%v, circuits with MOT extras=%d/%d, strict backward-implication wins=%d\n\n",
+			fmt.Fprintf(out, "shape: ordering(conv<=base<=prop) holds=%v, circuits with MOT extras=%d/%d, strict backward-implication wins=%d\n\n",
 				chk.OrderingHolds, chk.CircuitsWithMOT, len(rows), chk.StrictWins)
 			for _, note := range chk.Notes {
-				fmt.Println("  !", note)
+				fmt.Fprintln(out, "  !", note)
 			}
 		}
-		if *table == "3" || *table == "all" {
+		if table == "3" || table == "all" {
 			rows := experiments.Table3Rows(runs)
-			fmt.Println("Table 3: effectiveness of backward implications (averages over MOT-detected faults)")
-			if *csv {
-				fmt.Print(report.CSVTable3(rows))
+			fmt.Fprintln(out, "Table 3: effectiveness of backward implications (averages over MOT-detected faults)")
+			if csv {
+				fmt.Fprint(out, report.CSVTable3(rows))
 			} else {
-				fmt.Print(report.FormatTable3(rows, *paper))
+				fmt.Fprint(out, report.FormatTable3(rows, paper))
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
 	}
 
 	if wantHITEC {
-		res, err := experiments.RunHITECStyle(*hitecOn, opts)
+		res, err := experiments.RunHITECStyle(hitecCircuit, opts)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mottables:", err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Printf("Deterministic (greedy, HITEC-style) sequence on %s: %d patterns\n", res.Circuit, res.SeqLen)
-		fmt.Printf("  conventional: %d detected\n", res.Proposed.Conv)
-		fmt.Printf("  proposed:     +%d extra (paper: s5378 +14 with HITEC)\n", res.Proposed.MOT)
-		fmt.Printf("  baseline [4]: +%d extra (paper: s5378 +12 with HITEC)\n", res.Baseline.MOT)
+		fmt.Fprintf(out, "Deterministic (greedy, HITEC-style) sequence on %s: %d patterns\n", res.Circuit, res.SeqLen)
+		fmt.Fprintf(out, "  conventional: %d detected\n", res.Proposed.Conv)
+		fmt.Fprintf(out, "  proposed:     +%d extra (paper: s5378 +14 with HITEC)\n", res.Proposed.MOT)
+		fmt.Fprintf(out, "  baseline [4]: +%d extra (paper: s5378 +12 with HITEC)\n", res.Baseline.MOT)
 	}
+	return nil
 }

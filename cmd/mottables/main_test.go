@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// tables runs run() against sg208 and returns the table output.
+func tables(t *testing.T, table string, csv bool, workers int, prescreen bool) string {
+	t.Helper()
+	var out, errw bytes.Buffer
+	err := run(&out, &errw, table, "sg208", 0, csv, true, false, true, "sg298", workers, prescreen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestRunRejects(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   func() error
+		usage bool
+	}{
+		{"zeroWorkers", func() error {
+			return run(&bytes.Buffer{}, &bytes.Buffer{}, "2", "sg208", 0, false, true, false, false, "sg298", 0, true)
+		}, true},
+		{"negativeWorkers", func() error {
+			return run(&bytes.Buffer{}, &bytes.Buffer{}, "2", "sg208", 0, false, true, false, false, "sg298", -4, true)
+		}, true},
+		{"unknownTable", func() error {
+			return run(&bytes.Buffer{}, &bytes.Buffer{}, "5", "", 0, false, true, false, false, "sg298", 1, true)
+		}, true},
+		{"unknownCircuit", func() error {
+			return run(&bytes.Buffer{}, &bytes.Buffer{}, "2", "bogus", 0, false, true, false, false, "sg298", 1, true)
+		}, false},
+		{"unknownHITECCircuit", func() error {
+			return run(&bytes.Buffer{}, &bytes.Buffer{}, "hitec", "", 0, false, true, false, false, "bogus", 1, true)
+		}, false},
+	}
+	for _, tc := range cases {
+		err := tc.err()
+		if err == nil {
+			t.Errorf("%s accepted", tc.name)
+			continue
+		}
+		if got := errors.As(err, &usageError{}); got != tc.usage {
+			t.Errorf("%s: usageError = %v, want %v (err: %v)", tc.name, got, tc.usage, err)
+		}
+	}
+}
+
+func TestRunTable2(t *testing.T) {
+	out := tables(t, "2", false, 1, true)
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "sg208") {
+		t.Fatalf("unexpected table 2 output:\n%s", out)
+	}
+	if !strings.Contains(out, "shape:") {
+		t.Fatalf("missing shape check line:\n%s", out)
+	}
+}
+
+func TestRunTable3CSV(t *testing.T) {
+	out := tables(t, "3", true, 2, true)
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "sg208") {
+		t.Fatalf("unexpected table 3 output:\n%s", out)
+	}
+}
+
+// TestRunPrescreenInvariant asserts the emitted tables are identical with
+// the prescreen on and off, and across worker counts: the flags change
+// scheduling, never results.
+func TestRunPrescreenInvariant(t *testing.T) {
+	base := tables(t, "2", true, 1, true)
+	for _, tc := range []struct {
+		workers   int
+		prescreen bool
+	}{{1, false}, {4, true}, {4, false}} {
+		got := tables(t, "2", true, tc.workers, tc.prescreen)
+		if got != base {
+			t.Errorf("workers=%d prescreen=%v: output differs:\n%s\n-- want --\n%s",
+				tc.workers, tc.prescreen, got, base)
+		}
+	}
+}
+
+func TestRunVerboseProgress(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, "2", "sg208", 0, true, true, false, true, "sg298", 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "sg208") {
+		t.Fatalf("verbose run wrote no progress: %q", errw.String())
+	}
+}
+
+func TestRunHITEC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("greedy sequence generation in -short mode")
+	}
+	var out, errw bytes.Buffer
+	if err := run(&out, &errw, "hitec", "", 0, false, true, false, false, "sg298", 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "sg298") || !strings.Contains(out.String(), "conventional:") {
+		t.Fatalf("unexpected hitec output:\n%s", out.String())
+	}
+}

@@ -85,6 +85,13 @@ type Config struct {
 	// fallback and is asserted bit-identical by the prescreen tests.
 	// SimulateFault itself never prescreens.
 	Prescreen bool
+	// Reference selects the retained allocate-per-pair implementation of
+	// the pair-collection and expansion path: a fresh implication frame
+	// per pair side, map-backed sv sets, and freshly allocated sequences.
+	// Outcomes are byte-identical to the default pooled/trail path; the
+	// mode exists for cross-check tests and as the allocation baseline in
+	// benchmarks.
+	Reference bool
 	// IdentificationOnly stops the pipeline after Section 3.2: faults are
 	// credited only when the collected implication information alone
 	// proves detection, with no state expansion or resimulation. This

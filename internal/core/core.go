@@ -48,6 +48,10 @@ type Simulator struct {
 	T    seqsim.Sequence
 	good *seqsim.Trace
 	sim  *seqsim.Simulator
+	// pools holds this simulator's reusable frames, arenas and scratch
+	// buffers (see pool.go). RunParallel workers each get a fresh
+	// Simulator value, so pools are never shared between goroutines.
+	pools simPools
 }
 
 // NewSimulator builds a simulator, running fault-free simulation of the
@@ -156,7 +160,7 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 	out := FaultOutcome{Fault: f}
 
 	// Step 0: conventional fault simulation with fault dropping.
-	bad, at, detected, err := s.sim.RunFault(s.T, s.good, f, s.cfg.UseBackwardImplications)
+	bad, at, detected, err := s.runBad(f)
 	if err != nil {
 		return out, err
 	}
@@ -201,7 +205,9 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 
 	// Section 3.4: resimulation after expansion.
 	out.Sequences = len(seqs)
-	if s.resimulate(&f, seqs, marks) {
+	detected = s.resimulate(&f, seqs, marks)
+	s.releaseSeqs(seqs)
+	if detected {
 		out.Outcome = DetectedMOT
 		return out, nil
 	}
@@ -216,11 +222,14 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 	if s.cfg.UseBackwardImplications {
 		var retry FaultOutcome
 		seqs, marks = s.expand(s.trivialPairs(bad, nout), bad, nsv, nout, &retry)
-		if s.resimulate(&f, seqs, marks) {
+		detected = s.resimulate(&f, seqs, marks)
+		nseq := len(seqs)
+		s.releaseSeqs(seqs)
+		if detected {
 			out.Outcome = DetectedMOT
 			out.Expansions += retry.Expansions
 			out.Counters.add(retry.Counters)
-			out.Sequences = len(seqs)
+			out.Sequences = nseq
 		}
 	}
 	return out, nil
@@ -233,10 +242,19 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 //
 // With backward implications disabled (the [4] baseline), every pair is
 // trivial: expansion specifies exactly the selected variable.
+//
+// The returned slice and the slices inside each pairInfo are backed by
+// per-simulator arenas truncated at the next collectPairs call; they stay
+// valid for the remainder of this fault's pipeline only. Config.Reference
+// selects the retained allocate-per-pair implementation instead.
 func (s *Simulator) collectPairs(f *fault.Fault, bad *seqsim.Trace, nout []int) []pairInfo {
+	if s.cfg.Reference {
+		return s.collectPairsRef(f, bad, nout)
+	}
 	L := len(s.T)
 	nFF := s.c.NumFFs()
-	var pairs []pairInfo
+	s.resetCollect()
+	pairs := s.pools.pairs
 	capReached := func() bool {
 		return s.cfg.MaxPairs > 0 && len(pairs) >= s.cfg.MaxPairs
 	}
@@ -248,24 +266,31 @@ func (s *Simulator) collectPairs(f *fault.Fault, bad *seqsim.Trace, nout []int) 
 			if bad.States[0][i] != logic.X || capReached() {
 				continue
 			}
-			pairs = append(pairs, trivialPair(0, i))
+			pairs = append(pairs, s.trivialPairPooled(0, i))
 		}
 	}
 	for u := 1; u < L; u++ {
 		if nout[u-1] == 0 || capReached() {
 			break // nout is non-increasing: later units are useless too
 		}
+		// One pooled frame per time unit: it is built from bad.Nodes[u-1]
+		// once and restored by a trail undo after each side of each pair.
+		var fr *implic.Frame
 		for i := 0; i < nFF; i++ {
 			if bad.States[u][i] != logic.X || capReached() {
 				continue
 			}
 			if !s.cfg.UseBackwardImplications {
-				pairs = append(pairs, trivialPair(u, i))
+				pairs = append(pairs, s.trivialPairPooled(u, i))
 				continue
 			}
-			pairs = append(pairs, s.collectOne(f, bad, u, i))
+			if fr == nil {
+				fr = s.pairFrame(f, bad.Nodes[u-1])
+			}
+			pairs = append(pairs, s.collectOneInto(fr, f, bad, u, i))
 		}
 	}
+	s.pools.pairs = pairs
 	return pairs
 }
 
@@ -308,18 +333,33 @@ func trivialPair(u, i int) pairInfo {
 // values, recording the first applicable result: conflict, detection, or
 // the extra specified state variables (Section 3.1).
 func (s *Simulator) collectOne(f *fault.Fault, bad *seqsim.Trace, u, i int) pairInfo {
+	if s.cfg.Reference {
+		return s.collectOneRef(f, bad, u, i)
+	}
+	fr := s.pairFrame(f, bad.Nodes[u-1])
+	return s.collectOneInto(fr, f, bad, u, i)
+}
+
+// collectOneInto is collectOne on a caller-provided frame already reset to
+// bad.Nodes[u-1]: each side assigns y_i = alpha, implies, inspects, and
+// restores the frame with an O(changed) trail undo, so the same frame
+// serves every pair at time u without re-copying the base assignment.
+func (s *Simulator) collectOneInto(fr *implic.Frame, f *fault.Fault, bad *seqsim.Trace, u, i int) pairInfo {
 	p := pairInfo{u: u, i: i}
-	svSet := map[int]bool{i: true}
+	s.svReset()
+	s.svAdd(i)
 	for a := 0; a < 2; a++ {
 		alpha := logic.Val(a)
-		fr := implic.New(s.c, f, bad.Nodes[u-1])
+		mark := fr.Mark()
 		ok := fr.AssignNextState(i, alpha) && s.imply(fr)
 		if !ok {
 			p.conf[a] = true
+			fr.UndoTo(mark)
 			continue
 		}
 		if s.frameDetects(fr, u-1) {
 			p.detect[a] = true
+			fr.UndoTo(mark)
 			continue
 		}
 		// Deeper backward implication (extension; BackwardDepth > 1):
@@ -329,28 +369,30 @@ func (s *Simulator) collectOne(f *fault.Fault, bad *seqsim.Trace, u, i int) pair
 			switch s.deepBackward(f, bad, fr, u-1, s.cfg.BackwardDepth-1) {
 			case deepConflict:
 				p.conf[a] = true
+				fr.UndoTo(mark)
 				continue
 			case deepDetect:
 				p.detect[a] = true
+				fr.UndoTo(mark)
 				continue
 			}
 		}
 		// Record newly specified state variables at time u.
-		var extra []svAssign
+		extra := s.pools.extraScratch[:0]
 		for j := 0; j < s.c.NumFFs(); j++ {
 			if bad.States[u][j] != logic.X {
 				continue
 			}
 			if v := fr.NextState(j); v.IsBinary() {
 				extra = append(extra, svAssign{j: j, v: v})
-				svSet[j] = true
+				s.svAdd(j)
 			}
 		}
-		p.extra[a] = extra
+		s.pools.extraScratch = extra
+		p.extra[a] = s.internExtra(extra)
+		fr.UndoTo(mark)
 	}
-	for j := range svSet {
-		p.sv = append(p.sv, j)
-	}
+	p.sv = s.svTake()
 	return p
 }
 
@@ -385,42 +427,58 @@ const (
 
 // deepBackward chases present-state variables newly specified at frame u
 // into frame u-1, asserting the corresponding next-state variables there
-// and running implications, for up to depth further time units.
+// and running implications, for up to depth further time units. Frames
+// come from a per-simulator pool indexed by chase level; the newly buffer
+// is safe to reuse across levels because each level consumes it fully
+// before the next level truncates it.
 func (s *Simulator) deepBackward(f *fault.Fault, bad *seqsim.Trace, fr *implic.Frame, u, depth int) deepResult {
-	if depth <= 0 || u == 0 {
-		return deepNothing
+	if s.cfg.Reference {
+		return s.deepBackwardRef(f, bad, fr, u, depth)
 	}
-	var newly []svAssign
-	for j := 0; j < s.c.NumFFs(); j++ {
-		if bad.States[u][j] != logic.X {
-			continue
+	for level := 0; depth > 0 && u > 0; level++ {
+		newly := s.pools.deepNewly[:0]
+		for j := 0; j < s.c.NumFFs(); j++ {
+			if bad.States[u][j] != logic.X {
+				continue
+			}
+			if v := fr.PresentState(j); v.IsBinary() {
+				newly = append(newly, svAssign{j: j, v: v})
+			}
 		}
-		if v := fr.PresentState(j); v.IsBinary() {
-			newly = append(newly, svAssign{j: j, v: v})
+		s.pools.deepNewly = newly
+		if len(newly) == 0 {
+			return deepNothing
 		}
-	}
-	if len(newly) == 0 {
-		return deepNothing
-	}
-	prev := implic.New(s.c, f, bad.Nodes[u-1])
-	for _, a := range newly {
-		if !prev.AssignNextState(a.j, a.v) {
+		prev := s.deepFrame(level, f, bad.Nodes[u-1])
+		for _, a := range newly {
+			if !prev.AssignNextState(a.j, a.v) {
+				return deepConflict
+			}
+		}
+		if !s.imply(prev) {
 			return deepConflict
 		}
+		if s.frameDetects(prev, u-1) {
+			return deepDetect
+		}
+		fr = prev
+		u--
+		depth--
 	}
-	if !s.imply(prev) {
-		return deepConflict
-	}
-	if s.frameDetects(prev, u-1) {
-		return deepDetect
-	}
-	return s.deepBackward(f, bad, prev, u-1, depth-1)
+	return deepNothing
 }
 
 // sequence is one expanded state sequence: states[u][j] is the value of
 // state variable j at time u, u in [0, L].
+//
+// Pooled sequences (see Simulator.newSeq) additionally carry the flat
+// value slab the rows are carved from, so a clone is a single copy and a
+// released sequence can be recycled. Sequences built directly from a
+// states matrix (tests, the Reference path) leave flat nil and behave
+// identically.
 type sequence struct {
 	states [][]logic.Val
+	flat   []logic.Val
 }
 
 // cloneStates deep-copies a state matrix.
@@ -441,9 +499,8 @@ func cloneStates(src [][]logic.Val) [][]logic.Val {
 // until the N_STATES budget is reached. It returns the sequences and the
 // set of marked time units for resimulation.
 func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int, out *FaultOutcome) ([]*sequence, []bool) {
-	L := len(s.T)
-	marks := make([]bool, L+1)
-	s0 := &sequence{states: cloneStates(bad.States)}
+	marks := s.marksScratch()
+	s0 := s.seqFromStates(bad.States)
 	seqs := []*sequence{s0}
 
 	// Phase 1 (Procedure 2, step 2).
@@ -498,7 +555,7 @@ func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int,
 		marks[p.u] = true
 		grown := make([]*sequence, 0, 2*len(seqs))
 		for _, sq := range seqs {
-			dup := &sequence{states: cloneStates(sq.states)}
+			dup := s.cloneSeq(sq)
 			for _, a := range p.extra[0] {
 				sq.states[p.u][a.j] = a.v
 			}
@@ -586,8 +643,9 @@ func expandable(p *pairInfo, seqs []*sequence) bool {
 func (s *Simulator) resimulate(f *fault.Fault, seqs []*sequence, baseMarks []bool) bool {
 	c := s.c
 	L := len(s.T)
-	vals := make([]logic.Val, c.NumNodes())
-	marks := make([]bool, L+1)
+	// Pooled scratch: EvalFrame writes every node and the base marks are
+	// copied over the full buffer per sequence, so neither needs clearing.
+	vals, marks := s.resimScratch()
 	for _, sq := range seqs {
 		copy(marks, baseMarks)
 		resolved := false

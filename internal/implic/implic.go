@@ -22,6 +22,13 @@ import (
 // faulty) machine. Values are "effective": a stem-stuck node permanently
 // holds its stuck value, and branch faults are applied when gate pins read
 // their inputs.
+//
+// The frame keeps an assignment trail, SAT-solver style: every value write
+// is logged in order, and Mark/UndoTo restore a previous state touching
+// only the logged nodes. Under three-valued merging the only possible
+// transition is X -> binary (Merge never flips a binary value), so the
+// trail needs no explicit old values — undoing a write always restores X.
+// The same log seeds the event-driven sweeps.
 type Frame struct {
 	c    *netlist.Circuit
 	flt  *fault.Fault
@@ -30,10 +37,11 @@ type Frame struct {
 	conflict     bool
 	conflictNode netlist.NodeID
 
-	inBuf []logic.Val
+	inBuf     []logic.Val
+	forcedBuf []logic.Val
 
-	// changed logs nodes whose value became binary since New/Reset; it
-	// seeds the event-driven sweeps.
+	// changed is the assignment trail: nodes whose value became binary
+	// since New/Reset, in write order.
 	changed []netlist.NodeID
 	// inQ marks gates already enqueued in the active worklist.
 	inQ   []bool
@@ -56,20 +64,61 @@ func New(c *netlist.Circuit, flt *fault.Fault, base []logic.Val) *Frame {
 		c: c, flt: flt, vals: vals,
 		conflictNode: netlist.NoNode,
 		inBuf:        make([]logic.Val, 8),
+		forcedBuf:    make([]logic.Val, 8),
 		inQ:          make([]bool, c.NumGates()),
 	}
 }
 
 // Reset reinitializes the frame to a new base assignment, reusing storage.
+// The worklist is cleared sparsely from its own log: only gates actually
+// enqueued have their inQ flag unset, so the cost is O(queued), not
+// O(gates).
 func (fr *Frame) Reset(base []logic.Val) {
 	copy(fr.vals, base)
 	fr.conflict = false
 	fr.conflictNode = netlist.NoNode
 	fr.changed = fr.changed[:0]
-	for i := range fr.inQ {
-		fr.inQ[i] = false
+	fr.clearWorklist()
+}
+
+// ResetFault is Reset plus rebinding the injected fault, so one pooled
+// frame can serve frames of different faulty machines. flt may be nil for
+// a fault-free frame.
+func (fr *Frame) ResetFault(flt *fault.Fault, base []logic.Val) {
+	if flt == nil {
+		flt = &noFault
+	}
+	fr.flt = flt
+	fr.Reset(base)
+}
+
+// clearWorklist empties the gate worklist, unsetting only the inQ flags of
+// gates still enqueued.
+func (fr *Frame) clearWorklist() {
+	for _, g := range fr.queue {
+		fr.inQ[g] = false
 	}
 	fr.queue = fr.queue[:0]
+}
+
+// Mark returns the current trail position. Passing it to UndoTo rolls the
+// frame back to this exact state.
+func (fr *Frame) Mark() int { return len(fr.changed) }
+
+// UndoTo rolls back every assignment made since mark was obtained from
+// Mark, restoring the affected nodes to X, and clears any conflict, in
+// O(assignments undone). The worklist is always empty between sweeps
+// (closures drain it on success and clear it sparsely on conflict), so a
+// frame can run assign -> imply -> inspect -> UndoTo repeatedly from one
+// base assignment without any per-round O(nodes) or O(gates) work.
+func (fr *Frame) UndoTo(mark int) {
+	for _, n := range fr.changed[mark:] {
+		fr.vals[n] = logic.X
+	}
+	fr.changed = fr.changed[:mark]
+	fr.conflict = false
+	fr.conflictNode = netlist.NoNode
+	fr.clearWorklist()
 }
 
 // Value returns the current effective value of node n.
@@ -124,6 +173,14 @@ func (fr *Frame) seenInputs(gi netlist.GateID, g *netlist.Gate) []logic.Val {
 	return in
 }
 
+// forcedScratch returns the reusable buffer for InferInputsInto results.
+func (fr *Frame) forcedScratch(n int) []logic.Val {
+	if cap(fr.forcedBuf) < n {
+		fr.forcedBuf = make([]logic.Val, n)
+	}
+	return fr.forcedBuf[:n]
+}
+
 // inferGate applies the backward inference rules at gate gi, assigning
 // any forced input values. It returns false on conflict.
 func (fr *Frame) inferGate(gi netlist.GateID) bool {
@@ -139,8 +196,8 @@ func (fr *Frame) inferGate(gi netlist.GateID) bool {
 		return true
 	}
 	in := fr.seenInputs(gi, g)
-	forced, ok := logic.InferInputs(g.Op, out, in)
-	if !ok {
+	forced := fr.forcedScratch(len(in))
+	if !logic.InferInputsInto(g.Op, out, in, forced) {
 		fr.fail(g.Out)
 		return false
 	}
@@ -221,16 +278,31 @@ func (fr *Frame) enq(g netlist.GateID) {
 	}
 }
 
-// closure drains the value-change log from *cursor onward, seeding gates
-// with seed and processing them with step until no further values change.
-// It returns false on conflict.
-func (fr *Frame) closure(cursor *int, seed func(netlist.NodeID), step func(netlist.GateID) bool) bool {
+// backwardClosure computes the closure of the backward inference rules
+// over the changes logged since cursor: every gate whose output is newly
+// binary, or whose output is binary and gained a newly binary input, is
+// (re)processed until quiescence. The result contains every value a dense
+// backward sweep derives (and possibly more, since the closure does not
+// stop after a single pass).
+//
+// The drain loop is written out rather than shared through function values
+// with forwardClosure: closures capturing fr would escape and allocate on
+// every imply call, which pooled frames exist to avoid.
+func (fr *Frame) backwardClosure(cursor *int) bool {
 	if fr.conflict {
 		return false
 	}
 	for {
 		for ; *cursor < len(fr.changed); *cursor++ {
-			seed(fr.changed[*cursor])
+			n := fr.changed[*cursor]
+			if d := fr.c.Nodes[n].Driver; d != netlist.NoGate {
+				fr.enq(d)
+			}
+			for _, pin := range fr.c.Nodes[n].Fanouts {
+				if fr.vals[fr.c.Gates[pin.Gate].Out].IsBinary() {
+					fr.enq(pin.Gate)
+				}
+			}
 		}
 		if len(fr.queue) == 0 {
 			return true
@@ -238,44 +310,37 @@ func (fr *Frame) closure(cursor *int, seed func(netlist.NodeID), step func(netli
 		g := fr.queue[len(fr.queue)-1]
 		fr.queue = fr.queue[:len(fr.queue)-1]
 		fr.inQ[g] = false
-		if !step(g) {
-			fr.queue = fr.queue[:0]
-			for i := range fr.inQ {
-				fr.inQ[i] = false
-			}
+		if !fr.inferGate(g) {
+			fr.clearWorklist()
 			return false
 		}
 	}
-}
-
-// backwardClosure computes the closure of the backward inference rules
-// over the changes logged since cursor: every gate whose output is newly
-// binary, or whose output is binary and gained a newly binary input, is
-// (re)processed until quiescence. The result contains every value a dense
-// backward sweep derives (and possibly more, since the closure does not
-// stop after a single pass).
-func (fr *Frame) backwardClosure(cursor *int) bool {
-	return fr.closure(cursor, func(n netlist.NodeID) {
-		if d := fr.c.Nodes[n].Driver; d != netlist.NoGate {
-			fr.enq(d)
-		}
-		for _, pin := range fr.c.Nodes[n].Fanouts {
-			if fr.vals[fr.c.Gates[pin.Gate].Out].IsBinary() {
-				fr.enq(pin.Gate)
-			}
-		}
-	}, fr.inferGate)
 }
 
 // forwardClosure computes the closure of forward evaluation over the
 // changes logged since cursor: every gate reading a newly binary node is
 // re-evaluated, cascading until quiescence.
 func (fr *Frame) forwardClosure(cursor *int) bool {
-	return fr.closure(cursor, func(n netlist.NodeID) {
-		for _, pin := range fr.c.Nodes[n].Fanouts {
-			fr.enq(pin.Gate)
+	if fr.conflict {
+		return false
+	}
+	for {
+		for ; *cursor < len(fr.changed); *cursor++ {
+			for _, pin := range fr.c.Nodes[fr.changed[*cursor]].Fanouts {
+				fr.enq(pin.Gate)
+			}
 		}
-	}, fr.evalGateForward)
+		if len(fr.queue) == 0 {
+			return true
+		}
+		g := fr.queue[len(fr.queue)-1]
+		fr.queue = fr.queue[:len(fr.queue)-1]
+		fr.inQ[g] = false
+		if !fr.evalGateForward(g) {
+			fr.clearWorklist()
+			return false
+		}
+	}
 }
 
 // ImplyTwoPass runs the paper's implication schedule — implications from

@@ -254,17 +254,25 @@ func xorVal(v Val, inv bool) Val {
 // out must be binary; calling with out == X returns all-X, true.
 func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
 	forced = make([]Val, len(in))
+	ok = InferInputsInto(op, out, in, forced)
+	return forced, ok
+}
+
+// InferInputsInto is InferInputs writing into a caller-provided buffer of
+// len(in), sparing the per-call allocation on hot paths. The buffer is
+// fully overwritten.
+func InferInputsInto(op Op, out Val, in, forced []Val) (ok bool) {
 	for i := range forced {
 		forced[i] = X
 	}
 	if out == X {
-		return forced, true
+		return true
 	}
 	switch op {
 	case Const0:
-		return forced, out == Zero
+		return out == Zero
 	case Const1:
-		return forced, out == One
+		return out == One
 	case Buf, Not:
 		want := out
 		if op == Not {
@@ -273,11 +281,11 @@ func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
 		switch in[0] {
 		case X:
 			forced[0] = want
-			return forced, true
+			return true
 		case want:
-			return forced, true
+			return true
 		}
-		return forced, false
+		return false
 	case And, Nand, Or, Nor:
 		c, _ := op.controlling()
 		nc := c.Not()
@@ -291,10 +299,10 @@ func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
 				case X:
 					forced[i] = nc
 				case c:
-					return forced, false
+					return false
 				}
 			}
-			return forced, true
+			return true
 		}
 		// Controlled output: at least one input is controlling. Forcing is
 		// possible only when exactly one candidate remains.
@@ -302,22 +310,22 @@ func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
 		for i, v := range in {
 			if v == c {
 				// Already satisfied; nothing is forced.
-				return forced, true
+				return true
 			}
 			if v == X {
 				if candidate >= 0 {
 					// Two or more unknown inputs: no single input forced.
-					return forced, true
+					return true
 				}
 				candidate = i
 			}
 		}
 		if candidate < 0 {
 			// All inputs known non-controlling but output is controlled.
-			return forced, false
+			return false
 		}
 		forced[candidate] = c
-		return forced, true
+		return true
 	case Xor, Xnor:
 		parity := op == Xnor // start from the inversion so `parity` tracks the required remaining parity
 		wantOdd := out == One
@@ -326,7 +334,7 @@ func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
 			switch v {
 			case X:
 				if unknown >= 0 {
-					return forced, true // two or more unknowns: nothing forced
+					return true // two or more unknowns: nothing forced
 				}
 				unknown = i
 			case One:
@@ -334,10 +342,10 @@ func InferInputs(op Op, out Val, in []Val) (forced []Val, ok bool) {
 			}
 		}
 		if unknown < 0 {
-			return forced, parity == wantOdd
+			return parity == wantOdd
 		}
 		forced[unknown] = FromBool(parity != wantOdd)
-		return forced, true
+		return true
 	}
 	panic(fmt.Sprintf("logic: InferInputs of invalid operator %v", op))
 }

@@ -50,6 +50,37 @@ type Trace struct {
 	// Nodes[u] holds every node's effective value in frame u, for u in
 	// [0, L-1]. Nil unless the simulation was asked to keep node values.
 	Nodes [][]logic.Val
+
+	// Preallocated row storage for RunFaultInto (nil on traces built by
+	// Run/RunFault). States/Outputs/Nodes above are truncated views of
+	// these rows; the backing arrays are reused across calls.
+	allStates  [][]logic.Val
+	allOutputs [][]logic.Val
+	allNodes   [][]logic.Val
+}
+
+// makeRows carves n rows of width w out of one flat slab.
+func makeRows(n, w int) [][]logic.Val {
+	flat := make([]logic.Val, n*w)
+	rows := make([][]logic.Val, n)
+	for i := range rows {
+		rows[i] = flat[i*w : (i+1)*w : (i+1)*w]
+	}
+	return rows
+}
+
+// NewTrace preallocates a trace for RunFaultInto: row storage for an
+// L-frame simulation of c, reused across calls instead of allocated per
+// fault. keepNodes must match the RunFaultInto calls it will serve.
+func NewTrace(c *netlist.Circuit, L int, keepNodes bool) *Trace {
+	tr := &Trace{
+		allStates:  makeRows(L+1, c.NumFFs()),
+		allOutputs: makeRows(L, c.NumOutputs()),
+	}
+	if keepNodes {
+		tr.allNodes = makeRows(L, c.NumNodes())
+	}
+	return tr
 }
 
 // Len returns the number of simulated time frames.
@@ -141,32 +172,47 @@ func evalGate(c *netlist.Circuit, g *netlist.Gate, gi netlist.GateID, f *fault.F
 	return logic.Eval(g.Op, in)
 }
 
-// initialState returns the effective all-X initial state under fault f.
-func initialState(c *netlist.Circuit, f *fault.Fault) []logic.Val {
-	st := make([]logic.Val, c.NumFFs())
+// initialStateInto writes the effective all-X initial state under fault f.
+func initialStateInto(c *netlist.Circuit, f *fault.Fault, st []logic.Val) {
 	for i, ff := range c.FFs {
 		st[i] = f.Observed(ff.Q, ff.Init)
 	}
+}
+
+// initialState returns the effective all-X initial state under fault f.
+func initialState(c *netlist.Circuit, f *fault.Fault) []logic.Val {
+	st := make([]logic.Val, c.NumFFs())
+	initialStateInto(c, f, st)
 	return st
 }
 
-// nextState extracts the effective next state from frame values.
-func nextState(c *netlist.Circuit, f *fault.Fault, vals []logic.Val) []logic.Val {
-	st := make([]logic.Val, c.NumFFs())
+// nextStateInto extracts the effective next state from frame values.
+func nextStateInto(c *netlist.Circuit, f *fault.Fault, vals, st []logic.Val) {
 	for i, ff := range c.FFs {
 		// vals[ff.D] is already effective; the latched value becomes the
 		// next present state, observed through any stem fault on Q.
 		st[i] = f.Observed(ff.Q, vals[ff.D])
 	}
+}
+
+// nextState extracts the effective next state from frame values.
+func nextState(c *netlist.Circuit, f *fault.Fault, vals []logic.Val) []logic.Val {
+	st := make([]logic.Val, c.NumFFs())
+	nextStateInto(c, f, vals, st)
 	return st
+}
+
+// outputsInto extracts the observed primary outputs from frame values.
+func outputsInto(c *netlist.Circuit, vals, out []logic.Val) {
+	for i, id := range c.Outputs {
+		out[i] = vals[id]
+	}
 }
 
 // outputsOf extracts the observed primary outputs from frame values.
 func outputsOf(c *netlist.Circuit, vals []logic.Val) []logic.Val {
 	out := make([]logic.Val, c.NumOutputs())
-	for i, id := range c.Outputs {
-		out[i] = vals[id]
-	}
+	outputsInto(c, vals, out)
 	return out
 }
 
@@ -273,7 +319,7 @@ func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes b
 			return nil, Detection{}, false, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
 				u, len(pat), c.NumInputs())
 		}
-		s.evalFaultyFrame(pat, good, u, &f)
+		s.evalFaultyFrame(pat, tr.States[u], good, u, &f)
 		tr.Outputs = append(tr.Outputs, outputsOf(c, s.vals))
 		if keepNodes {
 			frame := make([]logic.Val, len(s.vals))
@@ -292,23 +338,58 @@ func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes b
 	return tr, Detection{}, false, nil
 }
 
-// evalFaultyFrame computes the faulty frame u values into s.vals. With the
-// full-pass evaluator this is EvalFrame; otherwise the faulty values are
-// derived from the fault-free frame by event-driven propagation of
-// differences (the present-state differences and the fault site).
-//
-// The faulty present state is taken from s.vals of the previous call via
-// prevState, so callers must invoke it for u = 0, 1, 2, ... in order.
-func (s *Simulator) evalFaultyFrame(pat Pattern, good *Trace, u int, f *fault.Fault) {
+// RunFaultInto is RunFault writing into a preallocated trace (see
+// NewTrace), so steady-state fault simulation performs no per-fault
+// allocation. tr's row storage is reused: the trace contents are valid
+// only until the next RunFaultInto call with the same trace. tr must have
+// been built by NewTrace for at least len(T) frames, with node storage
+// when keepNodes is set.
+func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fault, keepNodes bool) (at Detection, detected bool, err error) {
 	c := s.c
-	var ps []logic.Val
-	if u == 0 {
-		ps = initialState(c, f)
-	} else {
-		ps = nextState(c, f, s.vals)
+	if len(tr.allStates) < len(T)+1 || (keepNodes && len(tr.allNodes) < len(T)) {
+		return Detection{}, false, fmt.Errorf("seqsim: trace not preallocated for %d frames (keepNodes=%v)",
+			len(T), keepNodes)
 	}
+	tr.States = tr.allStates[:1]
+	tr.Outputs = tr.allOutputs[:0]
+	tr.Nodes = nil
+	if keepNodes {
+		tr.Nodes = tr.allNodes[:0]
+	}
+	initialStateInto(c, &f, tr.States[0])
+	for u, pat := range T {
+		if len(pat) != c.NumInputs() {
+			return Detection{}, false, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
+				u, len(pat), c.NumInputs())
+		}
+		s.evalFaultyFrame(pat, tr.States[u], good, u, &f)
+		tr.Outputs = tr.allOutputs[:u+1]
+		outputsInto(c, s.vals, tr.Outputs[u])
+		if keepNodes {
+			tr.Nodes = tr.allNodes[:u+1]
+			copy(tr.Nodes[u], s.vals)
+		}
+		tr.States = tr.allStates[:u+2]
+		nextStateInto(c, &f, s.vals, tr.States[u+1])
+		g := good.Outputs[u]
+		for j, id := range c.Outputs {
+			b := s.vals[id]
+			if g[j].IsBinary() && b.IsBinary() && g[j] != b {
+				return Detection{Time: u, Output: j}, true, nil
+			}
+		}
+	}
+	return Detection{}, false, nil
+}
+
+// evalFaultyFrame computes the faulty frame u values into s.vals given the
+// effective faulty present state ps. With the full-pass evaluator this is
+// EvalFrame; otherwise the faulty values are derived from the fault-free
+// frame by event-driven propagation of differences (the present-state
+// differences and the fault site).
+func (s *Simulator) evalFaultyFrame(pat Pattern, ps []logic.Val, good *Trace, u int, f *fault.Fault) {
 	if s.useFull || good.Nodes == nil {
-		EvalFrame(c, pat, ps, f, s.vals)
+		EvalFrame(s.c, pat, ps, f, s.vals)
 		return
 	}
 	s.evalFrameDelta(pat, ps, good.Nodes[u], f)
@@ -336,37 +417,21 @@ func (s *Simulator) evalFrameDelta(pat Pattern, ps []logic.Val, goodVals []logic
 	copy(s.vals, goodVals)
 	// Seed: primary inputs (stem faults there), present-state differences,
 	// the fault site itself.
-	push := func(g netlist.GateID) {
-		if !s.dirty[g] {
-			s.dirty[g] = true
-			lvl := c.Gates[g].Level
-			s.levelQ[lvl] = append(s.levelQ[lvl], g)
-		}
-	}
-	touch := func(id netlist.NodeID, v logic.Val) {
-		if s.vals[id] == v {
-			return
-		}
-		s.vals[id] = v
-		for _, pin := range c.Nodes[id].Fanouts {
-			push(pin.Gate)
-		}
-	}
 	for i, id := range c.Inputs {
-		touch(id, f.Observed(id, pat[i]))
+		s.touch(id, f.Observed(id, pat[i]))
 	}
 	for i, ff := range c.FFs {
-		touch(ff.Q, f.Observed(ff.Q, ps[i]))
+		s.touch(ff.Q, f.Observed(ff.Q, ps[i]))
 	}
 	if f.Node != netlist.NoNode {
 		if f.IsStem() {
 			if v, ok := f.StuckNode(f.Node); ok {
-				touch(f.Node, v)
+				s.touch(f.Node, v)
 			}
 			// The driver of a stuck node must never overwrite it; it is
 			// simply never re-evaluated into the node (see below).
 		} else {
-			push(f.Gate)
+			s.push(f.Gate)
 		}
 	}
 	for lvl := int32(1); lvl <= c.MaxLevel; lvl++ {
@@ -376,7 +441,29 @@ func (s *Simulator) evalFrameDelta(pat Pattern, ps []logic.Val, goodVals []logic
 			s.dirty[gi] = false
 			g := &c.Gates[gi]
 			v := evalGate(c, g, gi, f, s.vals)
-			touch(g.Out, v)
+			s.touch(g.Out, v)
 		}
+	}
+}
+
+// push enqueues a gate for delta evaluation once. A method rather than a
+// closure inside evalFrameDelta: closures capturing s would escape and
+// allocate on every faulty frame.
+func (s *Simulator) push(g netlist.GateID) {
+	if !s.dirty[g] {
+		s.dirty[g] = true
+		lvl := s.c.Gates[g].Level
+		s.levelQ[lvl] = append(s.levelQ[lvl], g)
+	}
+}
+
+// touch writes a node value and, when it changed, enqueues its fanout.
+func (s *Simulator) touch(id netlist.NodeID, v logic.Val) {
+	if s.vals[id] == v {
+		return
+	}
+	s.vals[id] = v
+	for _, pin := range s.c.Nodes[id].Fanouts {
+		s.push(pin.Gate)
 	}
 }
