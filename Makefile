@@ -10,7 +10,7 @@ GO ?= go
 RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck
 RACE_PKGS    := ./internal/core ./internal/bitsim
 
-.PHONY: build test vet race verify bench bench-collect
+.PHONY: build test vet race verify bench bench-collect benchdiff
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,10 @@ bench:
 bench-collect:
 	$(GO) test -run xxx -bench 'CollectPairs|SimulateList' -benchmem ./internal/core
 	$(GO) test -run xxx -bench 'Imply' -benchmem ./internal/implic
+
+# Fresh whole-list bench run compared against the recorded PR2 numbers;
+# fails on any median slowdown beyond 10%.
+BENCH_BASELINE ?= BENCH_PR2.json
+benchdiff:
+	$(GO) test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 . | tee benchdiff.out
+	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) benchdiff.out

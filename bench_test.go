@@ -346,6 +346,44 @@ func BenchmarkAblationNStates(b *testing.B) {
 	}
 }
 
+// BenchmarkMetricsOverhead measures the cost of the instrumentation
+// layer on the sg298 whole-list workload: Config.Metrics on (stage
+// timers, pool gauges, per-fault histograms) against off. The
+// acceptance bar is a metrics-on median within 3% of metrics-off.
+func BenchmarkMetricsOverhead(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg298")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Metrics = on
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := core.NewSimulator(c, T, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(faults, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if on && res.Metrics == nil {
+					b.Fatal("metrics-on run returned no histograms")
+				}
+				if !on && res.Metrics != nil {
+					b.Fatal("metrics-off run collected histograms")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationFrameEval compares the three conventional-simulation
 // engines: bit-parallel (63 machines per word), event-driven serial, and
 // full-pass serial.

@@ -1,0 +1,179 @@
+// Command benchdiff compares a `go test -bench` run against a recorded
+// baseline (BENCH_PR2.json style) and flags regressions:
+//
+//	go test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 . > bench.out
+//	benchdiff -baseline BENCH_PR2.json bench.out
+//
+// For every benchmark present in both the baseline's "after" section and
+// the fresh run, it compares median ns/op and prints the delta; any
+// slowdown beyond -threshold percent (default 10) makes the command exit
+// nonzero. Benchmarks in the baseline but missing from the run are
+// reported as warnings, never failures, so a restricted -bench pattern
+// still works.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchEntry mirrors one benchmark record of the baseline JSON.
+type benchEntry struct {
+	NsPerOp     []float64 `json:"ns_per_op"`
+	BytesPerOp  float64   `json:"bytes_per_op"`
+	AllocsPerOp float64   `json:"allocs_per_op"`
+}
+
+// baselineFile mirrors the BENCH_PR2.json schema; only the "after"
+// section (the current expected performance) is compared against.
+type baselineFile struct {
+	Description string                `json:"description"`
+	Machine     string                `json:"machine"`
+	After       map[string]benchEntry `json:"after"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_PR2.json", "baseline JSON file (compared against its \"after\" section)")
+		threshold    = flag.Float64("threshold", 10, "flag slowdowns beyond this percentage")
+	)
+	flag.Parse()
+	in := os.Stdin
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "benchdiff: at most one bench-output file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	ok, err := run(os.Stdout, in, *baselinePath, *threshold)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// run compares the bench output read from in against the baseline file;
+// it returns false when a regression beyond threshold percent was found.
+func run(out io.Writer, in io.Reader, baselinePath string, threshold float64) (bool, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return false, err
+	}
+	var base baselineFile
+	if err := json.Unmarshal(data, &base); err != nil {
+		return false, fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	if len(base.After) == 0 {
+		return false, fmt.Errorf("%s: no \"after\" benchmarks", baselinePath)
+	}
+	runs, err := parseBench(in)
+	if err != nil {
+		return false, err
+	}
+	if len(runs) == 0 {
+		return false, fmt.Errorf("no benchmark lines in input")
+	}
+
+	names := make([]string, 0, len(base.After))
+	for name := range base.After {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Fprintf(out, "%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, name := range names {
+		got, present := runs[name]
+		if !present {
+			fmt.Fprintf(out, "%-28s %14.0f %14s %8s  (not in this run)\n",
+				name, median(base.After[name].NsPerOp), "-", "-")
+			continue
+		}
+		baseMed := median(base.After[name].NsPerOp)
+		gotMed := median(got)
+		delta := 100 * (gotMed - baseMed) / baseMed
+		mark := ""
+		if delta > threshold {
+			mark = fmt.Sprintf("  REGRESSION (>%g%%)", threshold)
+			ok = false
+		}
+		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, baseMed, gotMed, delta, mark)
+	}
+	for name := range runs {
+		if _, known := base.After[name]; !known {
+			fmt.Fprintf(out, "%-28s %14s %14.0f %8s  (no baseline)\n", name, "-", median(runs[name]), "-")
+		}
+	}
+	if ok {
+		fmt.Fprintf(out, "no regressions beyond %g%%\n", threshold)
+	}
+	return ok, nil
+}
+
+// parseBench extracts ns/op samples from `go test -bench` output, keyed
+// by benchmark name with the -GOMAXPROCS suffix stripped. Repeated lines
+// (from -count N) accumulate.
+func parseBench(r io.Reader) (map[string][]float64, error) {
+	runs := make(map[string][]float64)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Benchmark lines read: Name-P  N  ns op [bytes B/op allocs allocs/op]
+		var ns float64
+		found := false
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("bad ns/op in %q: %w", sc.Text(), err)
+				}
+				ns, found = v, true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i]
+		}
+		runs[name] = append(runs[name], ns)
+	}
+	return runs, sc.Err()
+}
+
+// median returns the middle sample (mean of the middle two for even
+// counts).
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

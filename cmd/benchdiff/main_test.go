@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkTable2_sg298-8         	       2	  21000000 ns/op	 2046156 B/op	    4985 allocs/op
+BenchmarkTable2_sg298-8         	       2	  20500000 ns/op	 2046156 B/op	    4985 allocs/op
+BenchmarkTable2_sg298-8         	       2	  22000000 ns/op	 2046156 B/op	    4985 allocs/op
+BenchmarkNewThing-8             	      10	   1000000 ns/op
+PASS
+`
+
+const sampleBaseline = `{
+  "after": {
+    "BenchmarkTable2_sg298": {"ns_per_op": [20777534, 22980216, 19756759]},
+    "BenchmarkTable2_sg641": {"ns_per_op": [322921497, 307476224, 297388467]}
+  }
+}`
+
+func writeBaseline(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseBench(t *testing.T) {
+	runs, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs["BenchmarkTable2_sg298"]; len(got) != 3 {
+		t.Fatalf("sg298 samples = %v, want 3", got)
+	}
+	if got := runs["BenchmarkNewThing"]; len(got) != 1 || got[0] != 1000000 {
+		t.Fatalf("NewThing samples = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Errorf("empty median = %v", m)
+	}
+}
+
+// TestRunWithinThreshold: sample medians 21.0ms vs baseline 20.78ms is
+// ~1% slower — inside the default 10% threshold.
+func TestRunWithinThreshold(t *testing.T) {
+	var out bytes.Buffer
+	ok, err := run(&out, strings.NewReader(sampleBench), writeBaseline(t, sampleBaseline), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("flagged a regression within threshold:\n%s", out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "no regressions") {
+		t.Errorf("missing pass line:\n%s", text)
+	}
+	if !strings.Contains(text, "not in this run") {
+		t.Errorf("missing-benchmark warning absent:\n%s", text)
+	}
+	if !strings.Contains(text, "no baseline") {
+		t.Errorf("new-benchmark note absent:\n%s", text)
+	}
+}
+
+// TestRunFlagsRegression: with a 1% threshold the same sample counts as
+// a regression and run returns ok=false.
+func TestRunFlagsRegression(t *testing.T) {
+	var out bytes.Buffer
+	ok, err := run(&out, strings.NewReader(sampleBench), writeBaseline(t, sampleBaseline), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("regression not flagged:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("REGRESSION marker missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := run(&out, strings.NewReader(sampleBench), filepath.Join(t.TempDir(), "missing.json"), 10); err == nil {
+		t.Error("missing baseline accepted")
+	}
+	if _, err := run(&out, strings.NewReader(sampleBench), writeBaseline(t, `{"after":{}}`), 10); err == nil {
+		t.Error("empty baseline accepted")
+	}
+	if _, err := run(&out, strings.NewReader("PASS\n"), writeBaseline(t, sampleBaseline), 10); err == nil {
+		t.Error("benchless input accepted")
+	}
+}

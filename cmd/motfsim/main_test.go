@@ -1,17 +1,40 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro"
+	"repro/internal/profiling"
 )
+
+// opts builds the baseline test options: s27, a 16-pattern random
+// sequence, serial execution.
+func opts() runOptions {
+	return runOptions{
+		builtin:   "s27",
+		randomLen: 16,
+		seed:      7,
+		method:    "proposed",
+		nstates:   64,
+		workers:   1,
+		prescreen: true,
+		metrics:   true,
+	}
+}
 
 func TestRunMethods(t *testing.T) {
 	for _, method := range []string{"conventional", "lowcomplexity", "baseline", "proposed"} {
 		for _, prescreen := range []bool{true, false} {
-			if err := run("", "s27", "", 16, false, 7, method, 64, false, false, false, 1, prescreen); err != nil {
+			o := opts()
+			o.method = method
+			o.prescreen = prescreen
+			o.out = &bytes.Buffer{}
+			if err := run(o); err != nil {
 				t.Errorf("method %s (prescreen=%v): %v", method, prescreen, err)
 			}
 		}
@@ -19,20 +42,29 @@ func TestRunMethods(t *testing.T) {
 }
 
 func TestRunRejects(t *testing.T) {
+	mod := func(f func(*runOptions)) runOptions {
+		o := opts()
+		o.randomLen = 8
+		o.seed = 1
+		o.out = &bytes.Buffer{}
+		f(&o)
+		return o
+	}
 	cases := []struct {
 		name string
-		err  func() error
+		o    runOptions
 	}{
-		{"noCircuit", func() error { return run("", "", "", 8, false, 1, "proposed", 64, false, false, false, 1, true) }},
-		{"bothCircuits", func() error { return run("x.bench", "s27", "", 8, false, 1, "proposed", 64, false, false, false, 1, true) }},
-		{"unknownCircuit", func() error { return run("", "bogus", "", 8, false, 1, "proposed", 64, false, false, false, 1, true) }},
-		{"noSequence", func() error { return run("", "s27", "", 0, false, 1, "proposed", 64, false, false, false, 1, true) }},
-		{"badMethod", func() error { return run("", "s27", "", 8, false, 1, "frob", 64, false, false, false, 1, true) }},
-		{"zeroWorkers", func() error { return run("", "s27", "", 8, false, 1, "proposed", 64, false, false, false, 0, true) }},
-		{"negativeWorkers", func() error { return run("", "s27", "", 8, false, 1, "proposed", 64, false, false, false, -4, true) }},
+		{"noCircuit", mod(func(o *runOptions) { o.builtin = "" })},
+		{"bothCircuits", mod(func(o *runOptions) { o.benchPath = "x.bench" })},
+		{"unknownCircuit", mod(func(o *runOptions) { o.builtin = "bogus" })},
+		{"noSequence", mod(func(o *runOptions) { o.randomLen = 0 })},
+		{"badMethod", mod(func(o *runOptions) { o.method = "frob" })},
+		{"zeroWorkers", mod(func(o *runOptions) { o.workers = 0 })},
+		{"negativeWorkers", mod(func(o *runOptions) { o.workers = -4 })},
+		{"timingsWithoutMetrics", mod(func(o *runOptions) { o.metrics = false; o.traceTimings = true })},
 	}
 	for _, tc := range cases {
-		if tc.err() == nil {
+		if run(tc.o) == nil {
 			t.Errorf("%s accepted", tc.name)
 		}
 	}
@@ -44,19 +76,36 @@ func TestRunWithVectorsAndList(t *testing.T) {
 	if err := os.WriteFile(vec, []byte("1011\n0110\n1111\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("", "s27", vec, 0, false, 1, "proposed", 64, true, true, false, 1, true); err != nil {
+	o := opts()
+	o.vecPath = vec
+	o.randomLen = 0
+	o.seed = 1
+	o.full = true
+	o.list = true
+	o.out = &bytes.Buffer{}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunStatsOnly(t *testing.T) {
-	if err := run("", "s27", "", 0, false, 1, "proposed", 64, false, false, true, 1, true); err != nil {
+	o := opts()
+	o.randomLen = 0
+	o.stats = true
+	o.out = &bytes.Buffer{}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGreedy(t *testing.T) {
-	if err := run("", "s27", "", 16, true, 3, "baseline", 16, false, false, false, 1, true); err != nil {
+	o := opts()
+	o.greedy = true
+	o.seed = 3
+	o.method = "baseline"
+	o.nstates = 16
+	o.out = &bytes.Buffer{}
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -76,8 +125,90 @@ func TestRunBenchFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run(path, "", "", 8, false, 1, "conventional", 64, false, false, false, 1, true); err != nil {
+	o := opts()
+	o.builtin = ""
+	o.benchPath = path
+	o.randomLen = 8
+	o.seed = 1
+	o.method = "conventional"
+	o.out = &bytes.Buffer{}
+	if err := run(o); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunJSON checks the -json report: valid JSON with the per-stage
+// breakdown and histograms for an MOT method, and the compact schema for
+// the conventional fast path.
+func TestRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	o := opts()
+	o.jsonOut = true
+	o.out = &buf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, buf.String())
+	}
+	for _, key := range []string{"circuit", "stages", "histograms", "coverage"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+
+	buf.Reset()
+	o.method = "conventional"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	rep = nil
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("conventional -json output not valid JSON: %v", err)
+	}
+	if rep["method"] != "conventional" {
+		t.Errorf("conventional report method = %v", rep["method"])
+	}
+}
+
+// TestRunTraceAndProfiles drives a run with the JSONL trace and all
+// three profilers enabled, checking every artifact lands on disk.
+func TestRunTraceAndProfiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	o := opts()
+	o.workers = 4
+	o.tracePath = filepath.Join(dir, "trace.jsonl")
+	o.jsonOut = true
+	o.prof = profiling.Options{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		ExecTrace:  filepath.Join(dir, "exec.out"),
+	}
+	o.out = &buf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	c, _ := motsim.BuiltinCircuit("s27")
+	if want := len(motsim.CollapsedFaults(c)); len(lines) != want {
+		t.Errorf("trace has %d lines, want %d", len(lines), want)
+	}
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("trace line not valid JSON: %v\n%s", err, line)
+		}
+	}
+	for _, p := range []string{o.prof.CPUProfile, o.prof.MemProfile, o.prof.ExecTrace} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
 	}
 }
 

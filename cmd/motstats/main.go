@@ -2,47 +2,74 @@
 // circuit: size statistics, SCOAP-style controllability/observability
 // summaries, structural observability/controllability sets, sequential
 // depth, and (for small circuits) exact oracle detectability counts.
+// With -mot it also runs the proposed MOT procedure over the collapsed
+// fault list and prints the per-stage time breakdown, pool gauges and
+// per-fault histograms.
 //
 //	motstats -circuit s27
 //	motstats -bench design.bench -oracle -random 32
+//	motstats -circuit sg298 -mot -random 144 -workers 4
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"time"
 
 	"repro"
 	"repro/internal/oracle"
+	"repro/internal/report"
 	"repro/internal/testability"
 )
 
+// runOptions collects everything run needs; main fills it from flags,
+// tests construct it directly.
+type runOptions struct {
+	benchPath string
+	builtin   string
+	useOracle bool
+	randomLen int
+	seed      int64
+	worst     int
+	mot       bool
+	workers   int
+
+	out io.Writer // nil: os.Stdout
+}
+
 func main() {
-	var (
-		benchPath = flag.String("bench", "", "ISCAS-89 .bench netlist file")
-		builtin   = flag.String("circuit", "", "built-in circuit name")
-		useOracle = flag.Bool("oracle", false, "run the exhaustive detectability oracle (small circuits only)")
-		randomLen = flag.Int("random", 32, "sequence length for the oracle")
-		seed      = flag.Int64("seed", 1, "sequence seed for the oracle")
-		worst     = flag.Int("worst", 5, "list the N hardest-to-observe nodes")
-	)
+	var o runOptions
+	flag.StringVar(&o.benchPath, "bench", "", "ISCAS-89 .bench netlist file")
+	flag.StringVar(&o.builtin, "circuit", "", "built-in circuit name")
+	flag.BoolVar(&o.useOracle, "oracle", false, "run the exhaustive detectability oracle (small circuits only)")
+	flag.IntVar(&o.randomLen, "random", 32, "sequence length for the oracle and -mot runs")
+	flag.Int64Var(&o.seed, "seed", 1, "sequence seed for the oracle and -mot runs")
+	flag.IntVar(&o.worst, "worst", 5, "list the N hardest-to-observe nodes")
+	flag.BoolVar(&o.mot, "mot", false, "run the proposed MOT procedure and print the per-stage breakdown")
+	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines for the -mot run")
 	flag.Parse()
-	if err := run(*benchPath, *builtin, *useOracle, *randomLen, *seed, *worst); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "motstats:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchPath, builtin string, useOracle bool, randomLen int, seed int64, worst int) error {
+func run(o runOptions) error {
+	if o.out == nil {
+		o.out = os.Stdout
+	}
 	var (
 		c   *motsim.Circuit
 		err error
 	)
 	switch {
-	case benchPath != "":
-		c, err = motsim.LoadBench(benchPath)
-	case builtin != "":
-		c, err = motsim.BuiltinCircuit(builtin)
+	case o.benchPath != "":
+		c, err = motsim.LoadBench(o.benchPath)
+	case o.builtin != "":
+		c, err = motsim.BuiltinCircuit(o.builtin)
 	default:
 		return fmt.Errorf("need -bench FILE or -circuit NAME")
 	}
@@ -50,7 +77,7 @@ func run(benchPath, builtin string, useOracle bool, randomLen int, seed int64, w
 		return err
 	}
 
-	fmt.Println(c.Stats())
+	fmt.Fprintln(o.out, c.Stats())
 
 	obs := c.ObservableNodes()
 	ctrl := c.ControllableNodes()
@@ -63,7 +90,7 @@ func run(benchPath, builtin string, useOracle bool, randomLen int, seed int64, w
 			nCtrl++
 		}
 	}
-	fmt.Printf("structural: %d/%d observable, %d/%d input-controllable\n",
+	fmt.Fprintf(o.out, "structural: %d/%d observable, %d/%d input-controllable\n",
 		nObs, c.NumNodes(), nCtrl, c.NumNodes())
 
 	depth := c.SequentialDepth()
@@ -75,11 +102,11 @@ func run(benchPath, builtin string, useOracle bool, randomLen int, seed int64, w
 			maxDepth = d
 		}
 	}
-	fmt.Printf("sequential depth: max %d, %d flip-flops unreachable from inputs\n", maxDepth, unreachable)
+	fmt.Fprintf(o.out, "sequential depth: max %d, %d flip-flops unreachable from inputs\n", maxDepth, unreachable)
 
 	m := testability.Compute(c)
-	fmt.Println("SCOAP:", m.Summarize(c))
-	if worst > 0 {
+	fmt.Fprintln(o.out, "SCOAP:", m.Summarize(c))
+	if o.worst > 0 {
 		type hard struct {
 			name string
 			co   int32
@@ -97,28 +124,60 @@ func run(benchPath, builtin string, useOracle bool, randomLen int, seed int64, w
 				}
 			}
 		}
-		if len(hs) > worst {
-			hs = hs[:worst]
+		if len(hs) > o.worst {
+			hs = hs[:o.worst]
 		}
-		fmt.Println("hardest finite observabilities:")
+		fmt.Fprintln(o.out, "hardest finite observabilities:")
 		for _, h := range hs {
-			fmt.Printf("  %-10s CO=%d\n", h.name, h.co)
+			fmt.Fprintf(o.out, "  %-10s CO=%d\n", h.name, h.co)
 		}
 	}
 
-	if useOracle {
-		T := motsim.RandomSequence(c, randomLen, seed)
-		o, err := oracle.New(c, T)
+	if o.useOracle {
+		T := motsim.RandomSequence(c, o.randomLen, o.seed)
+		orc, err := oracle.New(c, T)
 		if err != nil {
 			return err
 		}
-		counts, _, err := o.DecideAll(motsim.CollapsedFaults(c))
+		counts, _, err := orc.DecideAll(motsim.CollapsedFaults(c))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("oracle (%d random patterns): %d faults, conventional=%d restrictedMOT=%d fullMOT=%d\n",
-			randomLen, counts.Total, counts.Conventional, counts.RestrictedMOT, counts.FullMOT)
+		fmt.Fprintf(o.out, "oracle (%d random patterns): %d faults, conventional=%d restrictedMOT=%d fullMOT=%d\n",
+			o.randomLen, counts.Total, counts.Conventional, counts.RestrictedMOT, counts.FullMOT)
 	}
+
+	if o.mot {
+		return runMOT(o, c)
+	}
+	return nil
+}
+
+// runMOT simulates the collapsed fault list under the proposed procedure
+// with metrics on and prints the instrumentation report.
+func runMOT(o runOptions, c *motsim.Circuit) error {
+	if o.randomLen <= 0 {
+		return fmt.Errorf("-mot needs -random N > 0")
+	}
+	if o.workers < 1 {
+		return fmt.Errorf("-workers must be at least 1, got %d", o.workers)
+	}
+	T := motsim.RandomSequence(c, o.randomLen, o.seed)
+	faults := motsim.CollapsedFaults(c)
+	s, err := motsim.New(c, T, motsim.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := s.RunParallel(faults, o.workers, nil)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(o.out, "MOT run (%d random patterns, %d workers, %s): %d faults, conventional=%d MOT-extra=%d undetected=%d\n",
+		o.randomLen, o.workers, elapsed.Round(time.Millisecond),
+		res.Total, res.Conv, res.MOT, res.Total-res.Detected())
+	fmt.Fprint(o.out, report.FormatRunStats(res))
 	return nil
 }
 

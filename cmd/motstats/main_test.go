@@ -1,29 +1,95 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// opts builds baseline test options writing to a buffer.
+func opts(builtin string) (runOptions, *bytes.Buffer) {
+	var buf bytes.Buffer
+	return runOptions{
+		builtin:   builtin,
+		randomLen: 16,
+		seed:      1,
+		worst:     3,
+		workers:   1,
+		out:       &buf,
+	}, &buf
+}
 
 func TestRunS27WithOracle(t *testing.T) {
-	if err := run("", "s27", true, 16, 1, 3); err != nil {
+	o, _ := opts("s27")
+	o.useOracle = true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSuiteCircuit(t *testing.T) {
-	if err := run("", "sg208", false, 0, 1, 5); err != nil {
+	o, _ := opts("sg208")
+	o.randomLen = 0
+	o.worst = 5
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejects(t *testing.T) {
-	if run("", "", false, 0, 1, 0) == nil {
+	o, _ := opts("")
+	if run(o) == nil {
 		t.Error("no circuit accepted")
 	}
-	if run("", "bogus", false, 0, 1, 0) == nil {
+	o, _ = opts("bogus")
+	if run(o) == nil {
 		t.Error("unknown circuit accepted")
 	}
 	// Oracle on a circuit with too many flip-flops (sg1423 has 74) must
 	// fail cleanly and quickly.
-	if run("", "sg1423", true, 8, 1, 0) == nil {
+	o, _ = opts("sg1423")
+	o.useOracle = true
+	o.randomLen = 8
+	o.worst = 0
+	if run(o) == nil {
 		t.Error("oracle over the FF limit accepted")
+	}
+	// -mot needs a sequence and a positive worker count.
+	o, _ = opts("s27")
+	o.mot = true
+	o.randomLen = 0
+	if run(o) == nil {
+		t.Error("-mot without a sequence accepted")
+	}
+	o, _ = opts("s27")
+	o.mot = true
+	o.workers = 0
+	if run(o) == nil {
+		t.Error("-mot with zero workers accepted")
+	}
+}
+
+// TestRunMOTBreakdown checks the -mot mode prints the per-stage
+// breakdown and histogram summaries.
+func TestRunMOTBreakdown(t *testing.T) {
+	o, buf := opts("sg208")
+	o.mot = true
+	o.randomLen = 24
+	o.workers = 2
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"MOT run (24 random patterns, 2 workers",
+		"stage breakdown",
+		"pair collection",
+		"implication calls",
+		"pairs/fault",
+		"fault time",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-mot output missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -2,17 +2,42 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/profiling"
 )
+
+// baseOpts returns options targeting sg208 with buffered output.
+func baseOpts(table string) runOptions {
+	return runOptions{
+		table:        table,
+		circuits:     "sg208",
+		paper:        true,
+		hitecCircuit: "sg298",
+		workers:      1,
+		prescreen:    true,
+		out:          &bytes.Buffer{},
+		errw:         &bytes.Buffer{},
+	}
+}
 
 // tables runs run() against sg208 and returns the table output.
 func tables(t *testing.T, table string, csv bool, workers int, prescreen bool) string {
 	t.Helper()
-	var out, errw bytes.Buffer
-	err := run(&out, &errw, table, "sg208", 0, csv, true, false, true, "sg298", workers, prescreen)
-	if err != nil {
+	var out bytes.Buffer
+	o := baseOpts(table)
+	o.csv = csv
+	o.workers = workers
+	o.prescreen = prescreen
+	o.skipNA = false
+	o.verbose = true
+	o.out = &out
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	return out.String()
@@ -21,27 +46,19 @@ func tables(t *testing.T, table string, csv bool, workers int, prescreen bool) s
 func TestRunRejects(t *testing.T) {
 	cases := []struct {
 		name  string
-		err   func() error
+		mod   func(*runOptions)
 		usage bool
 	}{
-		{"zeroWorkers", func() error {
-			return run(&bytes.Buffer{}, &bytes.Buffer{}, "2", "sg208", 0, false, true, false, false, "sg298", 0, true)
-		}, true},
-		{"negativeWorkers", func() error {
-			return run(&bytes.Buffer{}, &bytes.Buffer{}, "2", "sg208", 0, false, true, false, false, "sg298", -4, true)
-		}, true},
-		{"unknownTable", func() error {
-			return run(&bytes.Buffer{}, &bytes.Buffer{}, "5", "", 0, false, true, false, false, "sg298", 1, true)
-		}, true},
-		{"unknownCircuit", func() error {
-			return run(&bytes.Buffer{}, &bytes.Buffer{}, "2", "bogus", 0, false, true, false, false, "sg298", 1, true)
-		}, false},
-		{"unknownHITECCircuit", func() error {
-			return run(&bytes.Buffer{}, &bytes.Buffer{}, "hitec", "", 0, false, true, false, false, "bogus", 1, true)
-		}, false},
+		{"zeroWorkers", func(o *runOptions) { o.workers = 0 }, true},
+		{"negativeWorkers", func(o *runOptions) { o.workers = -4 }, true},
+		{"unknownTable", func(o *runOptions) { o.table = "5" }, true},
+		{"unknownCircuit", func(o *runOptions) { o.circuits = "bogus" }, false},
+		{"unknownHITECCircuit", func(o *runOptions) { o.table = "hitec"; o.hitecCircuit = "bogus" }, false},
 	}
 	for _, tc := range cases {
-		err := tc.err()
+		o := baseOpts("2")
+		tc.mod(&o)
+		err := run(o)
 		if err == nil {
 			t.Errorf("%s accepted", tc.name)
 			continue
@@ -88,7 +105,13 @@ func TestRunPrescreenInvariant(t *testing.T) {
 
 func TestRunVerboseProgress(t *testing.T) {
 	var out, errw bytes.Buffer
-	if err := run(&out, &errw, "2", "sg208", 0, true, true, false, true, "sg298", 2, true); err != nil {
+	o := baseOpts("2")
+	o.csv = true
+	o.workers = 2
+	o.verbose = true
+	o.out = &out
+	o.errw = &errw
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(errw.String(), "sg208") {
@@ -96,12 +119,67 @@ func TestRunVerboseProgress(t *testing.T) {
 	}
 }
 
+// TestRunJSON drives -json with profiling enabled and checks the report
+// carries the table rows, the per-circuit stage breakdowns and the
+// profile artifacts.
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	o := baseOpts("2")
+	o.jsonOut = true
+	o.workers = 2
+	o.out = &out
+	o.prof = profiling.Options{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		ExecTrace:  filepath.Join(dir, "exec.out"),
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("-json output not valid JSON: %v\n%s", err, out.String())
+	}
+	for _, key := range []string{"table2", "shape", "circuits"} {
+		if _, ok := rep[key]; !ok {
+			t.Errorf("JSON report missing %q", key)
+		}
+	}
+	circuits, ok := rep["circuits"].([]any)
+	if !ok || len(circuits) != 1 {
+		t.Fatalf("circuits not a 1-element array:\n%s", out.String())
+	}
+	cr := circuits[0].(map[string]any)
+	prop, ok := cr["proposed"].(map[string]any)
+	if !ok {
+		t.Fatalf("circuit report missing proposed run:\n%s", out.String())
+	}
+	for _, key := range []string{"stages", "histograms", "coverage"} {
+		if _, ok := prop[key]; !ok {
+			t.Errorf("proposed run report missing %q", key)
+		}
+	}
+	if _, ok := cr["baseline"]; !ok {
+		t.Error("circuit report missing baseline run")
+	}
+	for _, p := range []string{o.prof.CPUProfile, o.prof.MemProfile, o.prof.ExecTrace} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+}
+
 func TestRunHITEC(t *testing.T) {
 	if testing.Short() {
 		t.Skip("greedy sequence generation in -short mode")
 	}
-	var out, errw bytes.Buffer
-	if err := run(&out, &errw, "hitec", "", 0, false, true, false, false, "sg298", 2, true); err != nil {
+	var out bytes.Buffer
+	o := baseOpts("hitec")
+	o.circuits = ""
+	o.workers = 2
+	o.out = &out
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "sg298") || !strings.Contains(out.String(), "conventional:") {

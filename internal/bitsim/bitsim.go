@@ -193,34 +193,63 @@ func Batches(n int) int {
 	return (n + Lanes - 2) / (Lanes - 1)
 }
 
+// Stats counts the work of one whole-list bit-parallel run. Counters are
+// accumulated atomically so parallel batches share one Stats value.
+type Stats struct {
+	// Batches is the number of 63-fault batches simulated.
+	Batches int64 `json:"batches"`
+	// Frames is the number of time frames actually evaluated across all
+	// batches; SavedFrames counts frames skipped because every fault lane
+	// of a batch was already resolved (the bit-parallel analogue of fault
+	// dropping).
+	Frames      int64 `json:"frames"`
+	SavedFrames int64 `json:"saved_frames"`
+}
+
+// add folds one batch's frame counts into s.
+func (s *Stats) add(frames, saved int64) {
+	if s == nil {
+		return
+	}
+	atomic.AddInt64(&s.Batches, 1)
+	atomic.AddInt64(&s.Frames, frames)
+	atomic.AddInt64(&s.SavedFrames, saved)
+}
+
 // Run simulates the test sequence for every fault (in batches of 63),
 // returning per-fault first-detection results identical to the serial
 // simulator's seqsim.RunFaults.
 func Run(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) ([]seqsim.FaultResult, error) {
-	results := make([]seqsim.FaultResult, len(faults))
-	for start := 0; start < len(faults); start += Lanes - 1 {
-		end := start + Lanes - 1
-		if end > len(faults) {
-			end = len(faults)
-		}
-		if err := runGroup(c, T, faults[start:end], results[start:end]); err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
+	results, _, err := RunStats(c, T, faults, 1)
+	return results, err
 }
 
 // RunParallel is Run with the independent 63-fault batches distributed
 // over up to `workers` goroutines. Results are identical to Run.
 func RunParallel(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, workers int) ([]seqsim.FaultResult, error) {
+	results, _, err := RunStats(c, T, faults, workers)
+	return results, err
+}
+
+// RunStats is the instrumented entry point behind Run and RunParallel:
+// it simulates the whole list over up to `workers` goroutines and
+// additionally reports the work performed.
+func RunStats(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, workers int) ([]seqsim.FaultResult, Stats, error) {
+	var st Stats
 	nBatches := Batches(len(faults))
 	if workers > nBatches {
 		workers = nBatches
 	}
-	if workers < 2 {
-		return Run(c, T, faults)
-	}
 	results := make([]seqsim.FaultResult, len(faults))
+	if workers < 2 {
+		for start := 0; start < len(faults); start += Lanes - 1 {
+			end := min(start+Lanes-1, len(faults))
+			if err := runGroup(c, T, faults[start:end], results[start:end], &st); err != nil {
+				return nil, st, err
+			}
+		}
+		return results, st, nil
+	}
 	errs := make([]error, workers)
 	var (
 		next int64 = -1
@@ -237,7 +266,7 @@ func RunParallel(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, wo
 				}
 				start := bi * (Lanes - 1)
 				end := min(start+Lanes-1, len(faults))
-				if err := runGroup(c, T, faults[start:end], results[start:end]); err != nil {
+				if err := runGroup(c, T, faults[start:end], results[start:end], &st); err != nil {
 					errs[w] = err
 					// Drain the pool: push the shared index past the end so
 					// idle workers stop claiming batches.
@@ -250,23 +279,24 @@ func RunParallel(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, wo
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, st, err
 		}
 	}
-	return results, nil
+	return results, st, nil
 }
 
 // runGroup simulates one batch of at most Lanes-1 faults.
-func runGroup(c *netlist.Circuit, T seqsim.Sequence, group []fault.Fault, results []seqsim.FaultResult) error {
+func runGroup(c *netlist.Circuit, T seqsim.Sequence, group []fault.Fault, results []seqsim.FaultResult, st *Stats) error {
 	b, err := newBatch(c, group)
 	if err != nil {
 		return err
 	}
-	return b.run(T, results)
+	return b.run(T, results, st)
 }
 
-// run simulates the batch and fills results (one per fault lane).
-func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult) error {
+// run simulates the batch and fills results (one per fault lane),
+// accumulating frame counts into st (nil-safe).
+func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult, st *Stats) error {
 	c := b.c
 	for k := range results {
 		results[k] = seqsim.FaultResult{Fault: b.faults[k]}
@@ -321,6 +351,8 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult) error {
 			}
 		}
 		if resolved == allFaults {
+			// Early exit: the remaining frames cannot change any result.
+			st.add(int64(u+1), int64(len(T)-u-1))
 			return nil
 		}
 		// Latch the next state, observing stem faults on Q nodes.
@@ -328,5 +360,6 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult) error {
 			b.state[i] = b.stems[ff.Q].apply(b.vals[ff.D])
 		}
 	}
+	st.add(int64(len(T)), 0)
 	return nil
 }

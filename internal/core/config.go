@@ -23,7 +23,10 @@
 //     (Section 3.4).
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // Schedule selects the implication schedule inside a time frame.
 type Schedule uint8
@@ -99,6 +102,23 @@ type Config struct {
 	// paper's reference [6], which trades accuracy for speed; it detects
 	// a subset of the faults the full procedure detects.
 	IdentificationOnly bool
+	// Metrics enables the per-stage instrumentation of Run and
+	// RunParallel: stage timers, per-fault histograms and pool gauges
+	// (Result.Stages breakdown and Result.Metrics). The cost is a handful
+	// of monotonic-clock reads per fault; outcomes are identical either
+	// way. Off, only the coarse prescreen/MOT stage split is recorded.
+	Metrics bool
+	// TraceWriter, when non-nil, receives an opt-in per-fault JSONL
+	// trace: one event per fault in fault-list order, recording the
+	// outcome, detection site, and pipeline counters. The content is
+	// deterministic regardless of worker count; events are buffered and
+	// emitted after the run completes, never from worker goroutines.
+	TraceWriter io.Writer
+	// TraceTimings adds the per-fault stage-time breakdown to every
+	// trace event. Timings are wall-clock measurements and therefore not
+	// deterministic across runs; leave this off when traces are diffed.
+	// Requires Metrics.
+	TraceTimings bool
 }
 
 // DefaultConfig returns the configuration used in the paper's experiments:
@@ -114,6 +134,7 @@ func DefaultConfig() Config {
 		BackwardDepth:           1,
 		MaxPairs:                4096,
 		Prescreen:               true,
+		Metrics:                 true,
 	}
 }
 
@@ -137,6 +158,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: FixpointRounds must be positive with the fixpoint schedule")
 	case cfg.MaxPairs < 0:
 		return fmt.Errorf("core: MaxPairs must be non-negative, got %d", cfg.MaxPairs)
+	case cfg.TraceTimings && !cfg.Metrics:
+		return fmt.Errorf("core: TraceTimings requires Metrics")
 	}
 	return nil
 }

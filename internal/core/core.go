@@ -52,6 +52,17 @@ type Simulator struct {
 	// buffers (see pool.go). RunParallel workers each get a fresh
 	// Simulator value, so pools are never shared between goroutines.
 	pools simPools
+	// stats accumulates this simulator's stage times and pool counters
+	// (see stats.go); nil when Config.Metrics is off. Owned by this
+	// simulator's goroutine — plain fields, no atomics.
+	stats *runStats
+	// hist is the run's shared per-fault histogram set (concurrency-safe;
+	// RunParallel workers all point at the parent's). Nil when metrics
+	// are off.
+	hist *RunMetrics
+	// lastStages is the stage-time breakdown of the most recent
+	// SimulateFault call, consumed by the trace emitter.
+	lastStages StageNS
 }
 
 // NewSimulator builds a simulator, running fault-free simulation of the
@@ -65,7 +76,11 @@ func NewSimulator(c *netlist.Circuit, T seqsim.Sequence, cfg Config) (*Simulator
 	if err != nil {
 		return nil, err
 	}
-	return &Simulator{c: c, cfg: cfg, T: T, good: good, sim: sim}, nil
+	s := &Simulator{c: c, cfg: cfg, T: T, good: good, sim: sim}
+	if cfg.Metrics {
+		s.stats = &runStats{}
+	}
+	return s, nil
 }
 
 // Good returns the fault-free trace.
@@ -155,9 +170,43 @@ func conditionC(nsv, nout []int) bool {
 	return false
 }
 
-// SimulateFault runs the full per-fault pipeline.
+// SimulateFault runs the full per-fault pipeline. With Config.Metrics
+// it additionally accumulates the per-stage breakdown and per-fault
+// histograms (see Stages and RunMetrics); outcomes are identical either
+// way.
 func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
+	st := s.stats
+	if st == nil {
+		return s.simulateFault(f)
+	}
+	st.motFaults++
+	before := *st
+	start := time.Now()
+	out, err := s.simulateFault(f)
+	total := int64(time.Since(start))
+	st.times.Total += total
+	d := st.times.sub(before.times)
+	d.Total = total
+	if samples := st.implySamples - before.implySamples; samples > 0 {
+		d.Imply = (st.implySampleNS - before.implySampleNS) *
+			(st.implyCalls - before.implyCalls) / samples
+	}
+	s.lastStages = d
+	if err == nil && s.hist != nil {
+		s.hist.observeFault(&out, total)
+	}
+	return out, err
+}
+
+// simulateFault is the pipeline body; stage boundaries tick the stats
+// accumulator (a nil accumulator costs only the branch).
+func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 	out := FaultOutcome{Fault: f}
+	st := s.stats
+	var last time.Time
+	if st != nil {
+		last = time.Now()
+	}
 
 	// Step 0: conventional fault simulation with fault dropping.
 	bad, at, detected, err := s.runBad(f)
@@ -165,6 +214,7 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 		return out, err
 	}
 	if detected {
+		st.tick(&last, stageStep0)
 		out.Outcome = DetectedConventional
 		out.At = at
 		return out, nil
@@ -173,9 +223,11 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 	// Necessary condition (C).
 	nsv, nout := s.profile(bad)
 	if !conditionC(nsv, nout) {
+		st.tick(&last, stageStep0)
 		out.FailedConditionC = true
 		return out, nil
 	}
+	st.tick(&last, stageStep0)
 
 	// Section 3.1: collect backward-implication information per pair.
 	pairs := s.collectPairs(&f, bad, nout)
@@ -187,6 +239,7 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 		for k := range pairs {
 			p := &pairs[k]
 			if (p.detect[0] && p.resolved(1)) || (p.detect[1] && p.resolved(0)) {
+				st.tick(&last, stageCollect)
 				out.Outcome = DetectedMOT
 				out.ByIdentification = true
 				out.Counters.add(p.counters())
@@ -195,6 +248,7 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 			}
 		}
 	}
+	st.tick(&last, stageCollect)
 	if s.cfg.IdentificationOnly {
 		// Low-complexity mode (after [6]): no expansion, no resimulation.
 		return out, nil
@@ -202,11 +256,13 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 
 	// Section 3.3: state expansion (Procedure 2).
 	seqs, marks := s.expand(pairs, bad, nsv, nout, &out)
+	st.tick(&last, stageExpand)
 
 	// Section 3.4: resimulation after expansion.
 	out.Sequences = len(seqs)
 	detected = s.resimulate(&f, seqs, marks)
 	s.releaseSeqs(seqs)
+	st.tick(&last, stageResim)
 	if detected {
 		out.Outcome = DetectedMOT
 		return out, nil
@@ -222,9 +278,11 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 	if s.cfg.UseBackwardImplications {
 		var retry FaultOutcome
 		seqs, marks = s.expand(s.trivialPairs(bad, nout), bad, nsv, nout, &retry)
+		st.tick(&last, stageExpand)
 		detected = s.resimulate(&f, seqs, marks)
 		nseq := len(seqs)
 		s.releaseSeqs(seqs)
+		st.tick(&last, stageResim)
 		if detected {
 			out.Outcome = DetectedMOT
 			out.Expansions += retry.Expansions
@@ -291,6 +349,10 @@ func (s *Simulator) collectPairs(f *fault.Fault, bad *seqsim.Trace, nout []int) 
 		}
 	}
 	s.pools.pairs = pairs
+	if st := s.stats; st != nil {
+		st.pool.SVArenaPeak = max64(st.pool.SVArenaPeak, int64(len(s.pools.svArena)))
+		st.pool.SVIdxArenaPeak = max64(st.pool.SVIdxArenaPeak, int64(len(s.pools.svIdxArena)))
+	}
 	return pairs
 }
 
@@ -396,12 +458,35 @@ func (s *Simulator) collectOneInto(fr *implic.Frame, f *fault.Fault, bad *seqsim
 	return p
 }
 
-// imply runs the configured implication schedule.
+// imply runs the configured implication schedule. With metrics on,
+// calls are counted and one in 2^implySampleShift is timed; ImplyTime
+// is estimated from that sample so the two clock reads stay off most
+// of these very hot calls.
 func (s *Simulator) imply(fr *implic.Frame) bool {
-	if s.cfg.Schedule == Fixpoint {
-		return fr.ImplyFixpoint(s.cfg.FixpointRounds)
+	st := s.stats
+	if st == nil {
+		if s.cfg.Schedule == Fixpoint {
+			return fr.ImplyFixpoint(s.cfg.FixpointRounds)
+		}
+		return fr.ImplyTwoPass()
 	}
-	return fr.ImplyTwoPass()
+	st.implyCalls++
+	if st.implyCalls&(1<<implySampleShift-1) != 0 {
+		if s.cfg.Schedule == Fixpoint {
+			return fr.ImplyFixpoint(s.cfg.FixpointRounds)
+		}
+		return fr.ImplyTwoPass()
+	}
+	start := time.Now()
+	var ok bool
+	if s.cfg.Schedule == Fixpoint {
+		ok = fr.ImplyFixpoint(s.cfg.FixpointRounds)
+	} else {
+		ok = fr.ImplyTwoPass()
+	}
+	st.implySampleNS += int64(time.Since(start))
+	st.implySamples++
+	return ok
 }
 
 // frameDetects reports whether the frame's outputs contradict the
@@ -566,6 +651,9 @@ func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int,
 		}
 		seqs = grown
 	}
+	if st := s.stats; st != nil {
+		st.pool.SeqLivePeak = max64(st.pool.SeqLivePeak, int64(len(seqs)))
+	}
 	return seqs, marks
 }
 
@@ -722,10 +810,17 @@ type Result struct {
 	Sequences int
 	// Stages instruments the whole-list pipeline stages.
 	Stages Stages
+	// Metrics holds the run's per-fault histograms (pairs, expansions,
+	// sequences at stop, per-fault wall time); nil when Config.Metrics
+	// is off.
+	Metrics *RunMetrics
 }
 
 // Stages holds per-stage counters and wall-clock timings of a
-// whole-fault-list run (Run or RunParallel).
+// whole-fault-list run (Run or RunParallel). PrescreenTime and MOTTime
+// are wall-clock; the per-fault breakdown below them is summed across
+// RunParallel workers and is therefore CPU time (it can exceed MOTTime
+// when workers > 1).
 type Stages struct {
 	// PrescreenPasses is the number of bit-parallel batches simulated by
 	// the conventional prescreen (zero when Config.Prescreen is off).
@@ -734,11 +829,44 @@ type Stages struct {
 	// DetectedConventional directly from the prescreen lane results and
 	// therefore never handed to the per-fault MOT pipeline.
 	PrescreenDropped int
+	// PrescreenFrames is the number of time frames the bit-parallel
+	// prescreen actually simulated; PrescreenSavedFrames counts frames
+	// skipped by its all-lanes-resolved early exit.
+	PrescreenFrames      int64
+	PrescreenSavedFrames int64
 	// PrescreenTime is the wall-clock duration of the prescreen stage.
 	PrescreenTime time.Duration
 	// MOTTime is the wall-clock duration of the per-fault stage (the
 	// serial step 0 for survivors plus the MOT analysis proper).
 	MOTTime time.Duration
+
+	// The fields below are populated only with Config.Metrics.
+
+	// Step0Time covers the serial conventional resimulation of prescreen
+	// survivors plus the condition (C) profile; CollectTime the pair
+	// collection of Section 3.1 including its implication runs;
+	// ExpandTime Procedure 2; ResimTime the Section 3.4 resimulation
+	// (both including the portfolio retry).
+	Step0Time   time.Duration
+	CollectTime time.Duration
+	// ImplyTime estimates the implication share of CollectTime from a
+	// timed 1-in-2^implySampleShift sample of implication calls; it is a
+	// subset of CollectTime, not an additional stage.
+	ImplyTime  time.Duration
+	ExpandTime time.Duration
+	ResimTime  time.Duration
+	// ImplyCalls counts in-frame implication runs (both sides of every
+	// collected pair plus deep-backward chasing).
+	ImplyCalls int64
+	// MOTFaults counts the faults that entered the per-fault pipeline
+	// (everything the prescreen did not drop).
+	MOTFaults int
+	// Pool instruments the PR 2 pooling layer (reuse hits, slab
+	// recycles, arena high-water marks).
+	Pool PoolStats
+	// Sim counts the serial simulator's work during step 0 (frames by
+	// evaluation mode, delta-propagation gate evaluations).
+	Sim seqsim.SimStats
 }
 
 // Detected returns the total number of detected faults.
@@ -762,10 +890,12 @@ func (r *Result) AvgCounters() (det, conf, extra float64) {
 func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*Result, error) {
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
+	s.beginRun(res)
 	pre, err := s.prescreen(faults, 1, res)
 	if err != nil {
 		return nil, err
 	}
+	traceTimes := s.traceTimes(len(faults))
 	motStart := time.Now()
 	for k, f := range faults {
 		var o FaultOutcome
@@ -775,6 +905,9 @@ func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*
 			if o, err = s.SimulateFault(f); err != nil {
 				return nil, fmt.Errorf("core: fault %s: %w", f.Name(s.c), err)
 			}
+			if traceTimes != nil {
+				traceTimes[k] = s.lastStages
+			}
 		}
 		res.tally(o)
 		if progress != nil {
@@ -782,6 +915,13 @@ func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*
 		}
 	}
 	res.Stages.MOTTime = time.Since(motStart)
+	res.Stages.mergeStats(s.stats)
+	if s.cfg.Metrics {
+		res.Stages.Sim.Merge(s.sim.Stats())
+	}
+	if err := s.writeTrace(res, traceTimes); err != nil {
+		return nil, fmt.Errorf("core: trace: %w", err)
+	}
 	return res, nil
 }
 
@@ -819,10 +959,12 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 	}
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
+	s.beginRun(res)
 	pre, err := s.prescreen(faults, workers, res)
 	if err != nil {
 		return nil, err
 	}
+	traceTimes := s.traceTimes(len(faults))
 	motStart := time.Now()
 	outcomes := make([]FaultOutcome, len(faults))
 	// todo lists the fault indices that survived the prescreen and need
@@ -844,7 +986,24 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 	if workers > len(todo) {
 		workers = len(todo)
 	}
-	errs := make([]error, max(workers, 1))
+	nw := max(workers, 1)
+	errs := make([]error, nw)
+	// Workers are built up front so their per-worker instrumentation can
+	// be merged into the run totals after the pool drains. Each worker
+	// gets its own runStats (plain fields, single goroutine) and shares
+	// the parent's concurrency-safe histograms.
+	workerSims := make([]*Simulator, nw)
+	for w := range workerSims {
+		worker := &Simulator{
+			c: s.c, cfg: s.cfg, T: s.T, good: s.good,
+			sim:  seqsim.New(s.c),
+			hist: s.hist,
+		}
+		if s.cfg.Metrics {
+			worker.stats = &runStats{}
+		}
+		workerSims[w] = worker
+	}
 	var (
 		nextIdx int64 = -1
 		failed  atomic.Bool
@@ -852,14 +1011,11 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 		count   = dropped
 		wg      sync.WaitGroup
 	)
-	for w := 0; w < max(workers, 1); w++ {
+	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			worker := &Simulator{
-				c: s.c, cfg: s.cfg, T: s.T, good: s.good,
-				sim: seqsim.New(s.c),
-			}
+			worker := workerSims[w]
 			for {
 				t := int(atomic.AddInt64(&nextIdx, 1))
 				if t >= len(todo) || failed.Load() {
@@ -877,6 +1033,10 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 					return
 				}
 				outcomes[k] = o
+				if traceTimes != nil {
+					// Distinct index per fault: no write races between workers.
+					traceTimes[k] = worker.lastStages
+				}
 				if progress != nil {
 					mu.Lock()
 					count++
@@ -896,5 +1056,14 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 		res.tally(o)
 	}
 	res.Stages.MOTTime = time.Since(motStart)
+	for _, worker := range workerSims {
+		res.Stages.mergeStats(worker.stats)
+		if s.cfg.Metrics {
+			res.Stages.Sim.Merge(worker.sim.Stats())
+		}
+	}
+	if err := s.writeTrace(res, traceTimes); err != nil {
+		return nil, fmt.Errorf("core: trace: %w", err)
+	}
 	return res, nil
 }

@@ -68,6 +68,11 @@ func (s *Simulator) runBad(f fault.Fault) (*seqsim.Trace, seqsim.Detection, bool
 	}
 	if s.pools.badTrace == nil {
 		s.pools.badTrace = seqsim.NewTrace(s.c, len(s.T), s.cfg.UseBackwardImplications)
+		if st := s.stats; st != nil {
+			st.pool.TraceAllocs++
+		}
+	} else if st := s.stats; st != nil {
+		st.pool.TraceReuses++
 	}
 	at, detected, err := s.sim.RunFaultInto(s.pools.badTrace, s.T, s.good, f, s.cfg.UseBackwardImplications)
 	return s.pools.badTrace, at, detected, err
@@ -86,9 +91,15 @@ func (s *Simulator) resetCollect() {
 func (s *Simulator) pairFrame(f *fault.Fault, base []logic.Val) *implic.Frame {
 	if s.pools.pairFrame == nil {
 		s.pools.pairFrame = implic.New(s.c, f, base)
+		if st := s.stats; st != nil {
+			st.pool.FrameAllocs++
+		}
 		return s.pools.pairFrame
 	}
 	s.pools.pairFrame.ResetFault(f, base)
+	if st := s.stats; st != nil {
+		st.pool.FrameReuses++
+	}
 	return s.pools.pairFrame
 }
 
@@ -100,10 +111,16 @@ func (s *Simulator) deepFrame(d int, f *fault.Fault, base []logic.Val) *implic.F
 	}
 	if fr := s.pools.deepFrames[d]; fr != nil {
 		fr.ResetFault(f, base)
+		if st := s.stats; st != nil {
+			st.pool.FrameReuses++
+		}
 		return fr
 	}
 	fr := implic.New(s.c, f, base)
 	s.pools.deepFrames[d] = fr
+	if st := s.stats; st != nil {
+		st.pool.FrameAllocs++
+	}
 	return fr
 }
 
@@ -187,8 +204,14 @@ func (s *Simulator) newSeq() *sequence {
 		s.pools.seqFree = s.pools.seqFree[:n-1]
 		if cap(sq.flat) >= need && len(sq.states) == rows {
 			sq.flat = sq.flat[:need]
+			if st := s.stats; st != nil {
+				st.pool.SeqReuses++
+			}
 			return sq
 		}
+	}
+	if st := s.stats; st != nil {
+		st.pool.SeqAllocs++
 	}
 	sq := &sequence{
 		flat:   make([]logic.Val, need),

@@ -21,19 +21,13 @@ func (s *Simulator) prescreen(faults []fault.Fault, workers int, res *Result) ([
 		return nil, nil
 	}
 	start := time.Now()
-	var (
-		pre []seqsim.FaultResult
-		err error
-	)
-	if workers >= 2 {
-		pre, err = bitsim.RunParallel(s.c, s.T, faults, workers)
-	} else {
-		pre, err = bitsim.Run(s.c, s.T, faults)
-	}
+	pre, st, err := bitsim.RunStats(s.c, s.T, faults, workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: prescreen: %w", err)
 	}
-	res.Stages.PrescreenPasses = bitsim.Batches(len(faults))
+	res.Stages.PrescreenPasses = int(st.Batches)
+	res.Stages.PrescreenFrames = st.Frames
+	res.Stages.PrescreenSavedFrames = st.SavedFrames
 	for _, r := range pre {
 		if r.Detected {
 			res.Stages.PrescreenDropped++

@@ -1,0 +1,232 @@
+// Package metrics provides the lightweight instrumentation primitives
+// used by the MOT pipeline: atomic counters, monotonic stage timers,
+// high-water-mark gauges, and fixed-bucket histograms. Every primitive
+// is safe for concurrent use, costs roughly one atomic add per
+// observation, and allocates nothing after construction, so it can sit
+// on the zero-allocation per-fault hot path without perturbing it.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a concurrency-safe monotonically increasing counter.
+// The zero value is ready to use.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current count.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// MaxGauge tracks the maximum value observed (a high-water mark).
+// The zero value is ready to use and reports 0 until an observation.
+type MaxGauge struct{ v atomic.Int64 }
+
+// Observe raises the gauge to n if n exceeds the current maximum.
+func (g *MaxGauge) Observe(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Load returns the high-water mark.
+func (g *MaxGauge) Load() int64 { return g.v.Load() }
+
+// Timer accumulates wall-clock durations measured on the monotonic
+// clock. The zero value is ready to use.
+type Timer struct{ ns atomic.Int64 }
+
+// Add accumulates a measured duration.
+func (t *Timer) Add(d time.Duration) { t.ns.Add(int64(d)) }
+
+// Since accumulates the monotonic time elapsed since start.
+func (t *Timer) Since(start time.Time) { t.ns.Add(int64(time.Since(start))) }
+
+// Duration returns the accumulated time.
+func (t *Timer) Duration() time.Duration { return time.Duration(t.ns.Load()) }
+
+// Histogram is a fixed-bucket histogram of int64 observations. Bucket
+// bounds are set at construction and never change; observation is one
+// atomic add on the matching bucket plus count/sum/min/max updates.
+type Histogram struct {
+	bounds []int64 // strictly increasing upper bounds; len(counts) == len(bounds)+1
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64 // valid only when count > 0
+	max    atomic.Int64
+}
+
+// NewHistogram builds a histogram with the given strictly increasing
+// bucket upper bounds. An observation v lands in the first bucket with
+// v <= bound, or in the implicit overflow bucket past the last bound.
+func NewHistogram(bounds ...int64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not increasing: %v", bounds))
+		}
+	}
+	h := &Histogram{
+		bounds: append([]int64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// ExpBounds returns n upper bounds starting at start and multiplying by
+// factor: start, start*factor, ... — the usual shape for size and
+// latency distributions.
+func ExpBounds(start, factor int64, n int) []int64 {
+	if start < 1 || factor < 2 || n < 1 {
+		panic("metrics: ExpBounds needs start >= 1, factor >= 2, n >= 1")
+	}
+	bounds := make([]int64, n)
+	b := start
+	for i := range bounds {
+		bounds[i] = b
+		if b > math.MaxInt64/factor {
+			// Saturate instead of overflowing; trailing bounds collapse
+			// into the overflow bucket.
+			bounds = bounds[:i+1]
+			break
+		}
+		b *= factor
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Bucket is one bucket of a histogram snapshot: Count observations with
+// value <= Le (Le is math.MaxInt64 for the overflow bucket).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a histogram, safe to read and
+// marshal while the histogram keeps observing.
+type Snapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state. Buckets with zero
+// observations are retained so bucket layouts stay comparable across
+// snapshots.
+func (h *Histogram) Snapshot() Snapshot {
+	s := Snapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count > 0 {
+		s.Min = h.min.Load()
+		s.Max = h.max.Load()
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.Buckets = make([]Bucket, len(h.counts))
+	for i := range h.counts {
+		le := int64(math.MaxInt64)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{Le: le, Count: h.counts[i].Load()}
+	}
+	return s
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 <= q <= 1)
+// from the bucket counts: the upper bound of the bucket holding the
+// q-th observation, clamped to the observed min/max.
+func (s Snapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for _, b := range s.Buckets {
+		seen += b.Count
+		if seen >= rank {
+			v := b.Le
+			if v > s.Max {
+				v = s.Max
+			}
+			if v < s.Min {
+				v = s.Min
+			}
+			return v
+		}
+	}
+	return s.Max
+}
+
+// String renders a one-line summary: count, mean, p50/p90, max.
+func (s Snapshot) String() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.1f p50<=%d p90<=%d max=%d",
+		s.Count, s.Mean, s.Quantile(0.5), s.Quantile(0.9), s.Max)
+}
+
+// DurationString renders the summary with nanosecond observations shown
+// as durations.
+func (s Snapshot) DurationString() string {
+	if s.Count == 0 {
+		return "n=0"
+	}
+	d := func(ns int64) time.Duration { return time.Duration(ns).Round(time.Microsecond) }
+	return fmt.Sprintf("n=%d mean=%s p50<=%s p90<=%s max=%s",
+		s.Count, d(int64(s.Mean)), d(s.Quantile(0.5)), d(s.Quantile(0.9)), d(s.Max))
+}
+
+// FormatBounds renders bucket bounds compactly for table headers.
+func FormatBounds(bounds []int64) string {
+	parts := make([]string, len(bounds))
+	for i, b := range bounds {
+		parts[i] = fmt.Sprintf("%d", b)
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,112 @@
+// Package profiling wires the standard Go profilers into the CLIs: CPU
+// profile, heap profile, and execution trace, each gated by a file-path
+// option. It exists so every command shares one tested start/stop
+// sequence instead of repeating the pprof boilerplate.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// Options names the profile outputs; an empty path disables that
+// profiler.
+type Options struct {
+	// CPUProfile receives a pprof CPU profile covering Start..Stop.
+	CPUProfile string
+	// MemProfile receives a pprof heap profile taken at Stop.
+	MemProfile string
+	// ExecTrace receives a runtime execution trace covering Start..Stop.
+	ExecTrace string
+}
+
+// Enabled reports whether any profiler is requested.
+func (o Options) Enabled() bool {
+	return o.CPUProfile != "" || o.MemProfile != "" || o.ExecTrace != ""
+}
+
+// Session is a running set of profilers; always call Stop (it is a
+// no-op for profilers that never started).
+type Session struct {
+	opts      Options
+	cpuFile   *os.File
+	traceFile *os.File
+}
+
+// Start opens the requested profile outputs and starts the CPU profiler
+// and execution tracer. On any error it stops whatever already started
+// and returns the error.
+func Start(opts Options) (*Session, error) {
+	s := &Session{opts: opts}
+	if opts.CPUProfile != "" {
+		f, err := os.Create(opts.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: start CPU profile: %w", err)
+		}
+		s.cpuFile = f
+	}
+	if opts.ExecTrace != "" {
+		f, err := os.Create(opts.ExecTrace)
+		if err != nil {
+			s.stopCPU()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			s.stopCPU()
+			return nil, fmt.Errorf("profiling: start execution trace: %w", err)
+		}
+		s.traceFile = f
+	}
+	return s, nil
+}
+
+// stopCPU finishes the CPU profile if it is running.
+func (s *Session) stopCPU() {
+	if s.cpuFile == nil {
+		return
+	}
+	pprof.StopCPUProfile()
+	s.cpuFile.Close()
+	s.cpuFile = nil
+}
+
+// Stop finishes every running profiler and writes the heap profile.
+// It returns the first error encountered but always attempts every
+// shutdown step.
+func (s *Session) Stop() error {
+	var first error
+	s.stopCPU()
+	if s.traceFile != nil {
+		trace.Stop()
+		if err := s.traceFile.Close(); err != nil && first == nil {
+			first = fmt.Errorf("profiling: %w", err)
+		}
+		s.traceFile = nil
+	}
+	if s.opts.MemProfile != "" {
+		f, err := os.Create(s.opts.MemProfile)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		} else {
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: %w", err)
+			}
+		}
+		s.opts.MemProfile = ""
+	}
+	return first
+}

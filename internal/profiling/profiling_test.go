@@ -1,0 +1,76 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDisabled(t *testing.T) {
+	var o Options
+	if o.Enabled() {
+		t.Fatal("zero Options reports enabled")
+	}
+	s, err := Start(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllProfiles(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		ExecTrace:  filepath.Join(dir, "trace.out"),
+	}
+	if !o.Enabled() {
+		t.Fatal("options not enabled")
+	}
+	s, err := Start(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Generate a little work so the profiles have content.
+	sink := 0
+	for i := 0; i < 1_000_000; i++ {
+		sink += i % 7
+	}
+	_ = sink
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Stop is idempotent.
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{o.CPUProfile, o.MemProfile, o.ExecTrace} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s missing: %v", p, err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+func TestStartErrorCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	// An unwritable path: the directory itself.
+	_, err := Start(Options{CPUProfile: dir})
+	if err == nil {
+		t.Fatal("Start with a directory path did not fail")
+	}
+	// The CPU profiler must have been released for the next Start.
+	s, err := Start(Options{CPUProfile: filepath.Join(dir, "cpu.pprof")})
+	if err != nil {
+		t.Fatalf("CPU profiler not released after failed Start: %v", err)
+	}
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Progress renders a single updating progress line ("123/1024 faults,
+// 512.3/s, ETA 1.8s") suitable for the Run/RunParallel progress
+// callback. Updates are throttled and the callback may be invoked from
+// the run's internal goroutine, so the printer is mutex-guarded.
+type Progress struct {
+	w     io.Writer
+	label string
+	every time.Duration
+	now   func() time.Time
+
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+	wrote bool
+}
+
+// NewProgress builds a progress printer writing to w. label names the
+// work units (e.g. "faults").
+func NewProgress(w io.Writer, label string) *Progress {
+	return &Progress{
+		w:     w,
+		label: label,
+		every: 100 * time.Millisecond,
+		now:   time.Now,
+	}
+}
+
+// Update is the Run/RunParallel progress callback.
+func (p *Progress) Update(done, total int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	now := p.now()
+	if p.start.IsZero() {
+		p.start = now
+	}
+	if done < total && now.Sub(p.last) < p.every {
+		return
+	}
+	p.last = now
+	elapsed := now.Sub(p.start)
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(done) / elapsed.Seconds()
+	}
+	eta := "-"
+	if rate > 0 && done < total {
+		left := time.Duration(float64(total-done) / rate * float64(time.Second))
+		eta = left.Round(100 * time.Millisecond).String()
+	}
+	fmt.Fprintf(p.w, "\r%d/%d %s, %.1f/s, ETA %s    ", done, total, p.label, rate, eta)
+	p.wrote = true
+}
+
+// Done terminates the progress line (no-op if nothing was printed).
+func (p *Progress) Done() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wrote {
+		fmt.Fprintln(p.w)
+		p.wrote = false
+	}
+}

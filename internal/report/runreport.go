@@ -1,0 +1,185 @@
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/seqsim"
+)
+
+// RunReport is the machine-readable summary of one whole-fault-list run,
+// emitted by the CLIs under -json. Every duration is in nanoseconds so
+// the schema is language-neutral.
+type RunReport struct {
+	Circuit  string `json:"circuit"`
+	Method   string `json:"method"`
+	Faults   int    `json:"faults"`
+	Patterns int    `json:"patterns"`
+	Workers  int    `json:"workers"`
+
+	Conv       int     `json:"detected_conventional"`
+	MOT        int     `json:"detected_mot"`
+	Detected   int     `json:"detected_total"`
+	Coverage   float64 `json:"coverage"`
+	Identified int     `json:"identified"`
+	PrunedC    int     `json:"pruned_condition_c"`
+	Expansions int     `json:"expansions"`
+	Pairs      int     `json:"pairs"`
+	Sequences  int     `json:"sequences"`
+
+	ElapsedNS int64        `json:"elapsed_ns"`
+	Stages    StagesReport `json:"stages"`
+	// Histograms is present only when the run collected metrics.
+	Histograms *HistogramsReport `json:"histograms,omitempty"`
+}
+
+// StagesReport is the JSON view of core.Stages. PrescreenNS and MOTNS
+// are wall-clock; the per-stage breakdown is summed across workers (CPU
+// time) and present only when the run collected metrics.
+type StagesReport struct {
+	PrescreenPasses      int   `json:"prescreen_passes"`
+	PrescreenDropped     int   `json:"prescreen_dropped"`
+	PrescreenFrames      int64 `json:"prescreen_frames"`
+	PrescreenSavedFrames int64 `json:"prescreen_saved_frames"`
+	PrescreenNS          int64 `json:"prescreen_ns"`
+	MOTNS                int64 `json:"mot_ns"`
+
+	Step0NS   int64 `json:"step0_ns"`
+	CollectNS int64 `json:"collect_ns"`
+	ImplyNS   int64 `json:"imply_ns"`
+	ExpandNS  int64 `json:"expand_ns"`
+	ResimNS   int64 `json:"resim_ns"`
+
+	ImplyCalls int64           `json:"imply_calls"`
+	MOTFaults  int             `json:"mot_faults"`
+	Pool       core.PoolStats  `json:"pool"`
+	Sim        seqsim.SimStats `json:"sim"`
+}
+
+// HistogramsReport holds the per-fault distribution snapshots.
+type HistogramsReport struct {
+	PairsPerFault      metrics.Snapshot `json:"pairs_per_fault"`
+	ExpansionsPerFault metrics.Snapshot `json:"expansions_per_fault"`
+	SequencesAtStop    metrics.Snapshot `json:"sequences_at_stop"`
+	FaultTimeNS        metrics.Snapshot `json:"fault_time_ns"`
+}
+
+// NewRunReport builds the JSON summary from a run result.
+func NewRunReport(res *core.Result, method string, patterns, workers int, elapsed time.Duration) RunReport {
+	st := res.Stages
+	r := RunReport{
+		Circuit:    res.Circuit,
+		Method:     method,
+		Faults:     res.Total,
+		Patterns:   patterns,
+		Workers:    workers,
+		Conv:       res.Conv,
+		MOT:        res.MOT,
+		Detected:   res.Detected(),
+		Identified: res.Identified,
+		PrunedC:    res.PrunedConditionC,
+		Expansions: res.Expansions,
+		Pairs:      res.Pairs,
+		Sequences:  res.Sequences,
+		ElapsedNS:  int64(elapsed),
+		Stages: StagesReport{
+			PrescreenPasses:      st.PrescreenPasses,
+			PrescreenDropped:     st.PrescreenDropped,
+			PrescreenFrames:      st.PrescreenFrames,
+			PrescreenSavedFrames: st.PrescreenSavedFrames,
+			PrescreenNS:          int64(st.PrescreenTime),
+			MOTNS:                int64(st.MOTTime),
+			Step0NS:              int64(st.Step0Time),
+			CollectNS:            int64(st.CollectTime),
+			ImplyNS:              int64(st.ImplyTime),
+			ExpandNS:             int64(st.ExpandTime),
+			ResimNS:              int64(st.ResimTime),
+			ImplyCalls:           st.ImplyCalls,
+			MOTFaults:            st.MOTFaults,
+			Pool:                 st.Pool,
+			Sim:                  st.Sim,
+		},
+	}
+	if res.Total > 0 {
+		r.Coverage = float64(res.Detected()) / float64(res.Total)
+	}
+	if m := res.Metrics; m != nil {
+		r.Histograms = &HistogramsReport{
+			PairsPerFault:      m.PairsPerFault.Snapshot(),
+			ExpansionsPerFault: m.ExpansionsPerFault.Snapshot(),
+			SequencesAtStop:    m.SequencesAtStop.Snapshot(),
+			FaultTimeNS:        m.FaultTimeNS.Snapshot(),
+		}
+	}
+	return r
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+func (r RunReport) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// pct renders part as a percentage of whole.
+func pct(part, whole time.Duration) string {
+	if whole <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*float64(part)/float64(whole))
+}
+
+// FormatRunStats renders the per-stage breakdown, pool gauges and
+// per-fault histograms of a run as indented text (empty when the run
+// collected no metrics beyond the coarse stage split).
+func FormatRunStats(res *core.Result) string {
+	st := res.Stages
+	var sb strings.Builder
+	if st.MOTFaults == 0 && res.Metrics == nil {
+		return ""
+	}
+	cpu := st.Step0Time + st.CollectTime + st.ExpandTime + st.ResimTime
+	fmt.Fprintf(&sb, "  stage breakdown (%d MOT-pipeline faults, CPU time across workers):\n", st.MOTFaults)
+	rows := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"step0 resim + cond(C)", st.Step0Time},
+		{"pair collection", st.CollectTime},
+		{"  implications (est.)", st.ImplyTime},
+		{"expansion", st.ExpandTime},
+		{"resimulation", st.ResimTime},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "    %-24s %12s  %6s\n", r.name, r.d.Round(time.Microsecond), pct(r.d, cpu))
+	}
+	fmt.Fprintf(&sb, "    %-24s %12s\n", "total (CPU)", cpu.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "  implication calls: %d\n", st.ImplyCalls)
+	if st.PrescreenFrames > 0 {
+		fmt.Fprintf(&sb, "  prescreen frames: %d simulated, %d saved by early exit\n",
+			st.PrescreenFrames, st.PrescreenSavedFrames)
+	}
+	if sim := st.Sim; sim.DeltaFrames+sim.FullFrames > 0 {
+		fmt.Fprintf(&sb, "  serial sim frames: %d delta (%d gate evals), %d full\n",
+			sim.DeltaFrames, sim.DeltaGateEvals, sim.FullFrames)
+	}
+	if p := st.Pool; p != (core.PoolStats{}) {
+		fmt.Fprintf(&sb, "  pools: frames %d reused / %d allocated; seqs %d reused / %d allocated; traces %d reused / %d allocated\n",
+			p.FrameReuses, p.FrameAllocs, p.SeqReuses, p.SeqAllocs, p.TraceReuses, p.TraceAllocs)
+		fmt.Fprintf(&sb, "  arena peaks: sv=%d svIdx=%d liveSeqs=%d\n",
+			p.SVArenaPeak, p.SVIdxArenaPeak, p.SeqLivePeak)
+	}
+	if m := res.Metrics; m != nil {
+		fmt.Fprintf(&sb, "  pairs/fault:      %s\n", m.PairsPerFault.Snapshot())
+		fmt.Fprintf(&sb, "  expansions/fault: %s\n", m.ExpansionsPerFault.Snapshot())
+		fmt.Fprintf(&sb, "  sequences @stop:  %s\n", m.SequencesAtStop.Snapshot())
+		fmt.Fprintf(&sb, "  fault time:       %s\n", m.FaultTimeNS.Snapshot().DurationString())
+	}
+	return sb.String()
+}

@@ -1,0 +1,111 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/tgen"
+)
+
+// smallRun executes a metrics-on whole-list run on s27.
+func smallRun(t *testing.T, metricsOn bool) *core.Result {
+	t.Helper()
+	c := circuits.S27()
+	T := tgen.Random(c.NumInputs(), 20, 27)
+	cfg := core.DefaultConfig()
+	cfg.Metrics = metricsOn
+	s, err := core.NewSimulator(c, T, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(fault.CollapsedList(c), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunReportJSON(t *testing.T) {
+	res := smallRun(t, true)
+	rep := NewRunReport(res, "proposed", 20, 1, 5*time.Millisecond)
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"circuit", "stages", "histograms", "coverage", "elapsed_ns"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("report missing %q:\n%s", key, data)
+		}
+	}
+	stages, ok := back["stages"].(map[string]any)
+	if !ok {
+		t.Fatalf("stages not an object:\n%s", data)
+	}
+	for _, key := range []string{"step0_ns", "collect_ns", "imply_ns", "expand_ns", "resim_ns", "mot_faults", "pool", "sim"} {
+		if _, ok := stages[key]; !ok {
+			t.Errorf("stages missing %q:\n%s", key, data)
+		}
+	}
+	if rep.Detected != res.Detected() || rep.Coverage <= 0 {
+		t.Errorf("summary fields wrong: %+v", rep)
+	}
+}
+
+func TestRunReportMetricsOff(t *testing.T) {
+	res := smallRun(t, false)
+	rep := NewRunReport(res, "proposed", 20, 1, time.Millisecond)
+	if rep.Histograms != nil {
+		t.Error("metrics-off report carries histograms")
+	}
+	if _, err := rep.JSON(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatRunStats(t *testing.T) {
+	res := smallRun(t, true)
+	out := FormatRunStats(res)
+	for _, want := range []string{"stage breakdown", "pair collection", "implication calls", "pairs/fault", "fault time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatRunStats missing %q:\n%s", want, out)
+		}
+	}
+	if off := FormatRunStats(smallRun(t, false)); off != "" {
+		t.Errorf("metrics-off stats not empty:\n%s", off)
+	}
+}
+
+func TestProgress(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "faults")
+	base := time.Unix(0, 0)
+	tick := 0
+	p.now = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 200 * time.Millisecond)
+	}
+	for i := 1; i <= 10; i++ {
+		p.Update(i, 10)
+	}
+	p.Done()
+	out := buf.String()
+	if !strings.Contains(out, "10/10 faults") {
+		t.Errorf("final update missing:\n%q", out)
+	}
+	if !strings.Contains(out, "/s") || !strings.Contains(out, "ETA") {
+		t.Errorf("rate/ETA missing:\n%q", out)
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Errorf("Done did not terminate the line:\n%q", out)
+	}
+}

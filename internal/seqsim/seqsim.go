@@ -86,6 +86,29 @@ func NewTrace(c *netlist.Circuit, L int, keepNodes bool) *Trace {
 // Len returns the number of simulated time frames.
 func (t *Trace) Len() int { return len(t.Outputs) }
 
+// SimStats counts the work a Simulator performed: time frames by
+// evaluation mode and gate evaluations on the event-driven path. The
+// counters are plain fields maintained by the simulator's single
+// goroutine; merge per-worker copies with Merge.
+type SimStats struct {
+	// DeltaFrames counts faulty frames evaluated by event-driven delta
+	// propagation from the fault-free baseline; FullFrames counts frames
+	// where every gate was evaluated (fault-free runs, the full-pass
+	// evaluator, and faulty frames without a baseline).
+	DeltaFrames int64 `json:"delta_frames"`
+	FullFrames  int64 `json:"full_frames"`
+	// DeltaGateEvals counts gate evaluations performed by the delta
+	// frames — the activity the single-fault-propagation speedup leaves.
+	DeltaGateEvals int64 `json:"delta_gate_evals"`
+}
+
+// Merge adds other into s.
+func (s *SimStats) Merge(other SimStats) {
+	s.DeltaFrames += other.DeltaFrames
+	s.FullFrames += other.FullFrames
+	s.DeltaGateEvals += other.DeltaGateEvals
+}
+
 // Simulator runs three-valued simulation on one circuit. It is not safe
 // for concurrent use; create one per goroutine.
 type Simulator struct {
@@ -99,7 +122,16 @@ type Simulator struct {
 	dirty   []bool
 	levelQ  [][]netlist.GateID
 	useFull bool
+
+	stats SimStats
 }
+
+// Stats returns the work counters accumulated since construction or the
+// last ResetStats.
+func (s *Simulator) Stats() SimStats { return s.stats }
+
+// ResetStats zeroes the work counters.
+func (s *Simulator) ResetStats() { s.stats = SimStats{} }
 
 // New returns a Simulator for the circuit using event-driven (delta) frame
 // evaluation for faulty frames.
@@ -239,6 +271,7 @@ func (s *Simulator) Run(T Sequence, f *fault.Fault, keepNodes bool) (*Trace, err
 				u, len(pat), c.NumInputs())
 		}
 		EvalFrame(c, pat, state, f, s.vals)
+		s.stats.FullFrames++
 		tr.Outputs = append(tr.Outputs, outputsOf(c, s.vals))
 		if keepNodes {
 			frame := make([]logic.Val, len(s.vals))
@@ -390,6 +423,7 @@ func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fau
 func (s *Simulator) evalFaultyFrame(pat Pattern, ps []logic.Val, good *Trace, u int, f *fault.Fault) {
 	if s.useFull || good.Nodes == nil {
 		EvalFrame(s.c, pat, ps, f, s.vals)
+		s.stats.FullFrames++
 		return
 	}
 	s.evalFrameDelta(pat, ps, good.Nodes[u], f)
@@ -437,6 +471,7 @@ func (s *Simulator) evalFrameDelta(pat Pattern, ps []logic.Val, goodVals []logic
 	for lvl := int32(1); lvl <= c.MaxLevel; lvl++ {
 		q := s.levelQ[lvl]
 		s.levelQ[lvl] = q[:0]
+		s.stats.DeltaGateEvals += int64(len(q))
 		for _, gi := range q {
 			s.dirty[gi] = false
 			g := &c.Gates[gi]
@@ -444,6 +479,7 @@ func (s *Simulator) evalFrameDelta(pat Pattern, ps []logic.Val, goodVals []logic
 			s.touch(g.Out, v)
 		}
 	}
+	s.stats.DeltaFrames++
 }
 
 // push enqueues a gate for delta evaluation once. A method rather than a

@@ -71,8 +71,26 @@ type (
 	// Result aggregates a whole fault-list run.
 	Result = core.Result
 	// Stages holds per-stage counters and timings of a fault-list run
-	// (prescreen passes, faults dropped, wall-clock per stage).
+	// (prescreen passes, faults dropped, wall-clock per stage, and — with
+	// Config.Metrics on — the per-stage CPU breakdown, pool gauges and
+	// serial-simulator frame counters).
 	Stages = core.Stages
+	// StageNS is the per-stage nanosecond breakdown of the MOT pipeline
+	// (step 0, pair collection, implications, expansion, resimulation).
+	StageNS = core.StageNS
+	// PoolStats aggregates object-pool reuse counters and arena peaks.
+	PoolStats = core.PoolStats
+	// SimStats counts serial-simulator work (delta vs. full frames).
+	SimStats = seqsim.SimStats
+	// RunMetrics holds the per-fault distribution histograms of a run
+	// (pairs, expansions, sequences at stop, per-fault time).
+	RunMetrics = core.RunMetrics
+	// TraceEvent is one per-fault record of the JSONL trace stream
+	// written to Config.TraceWriter.
+	TraceEvent = core.TraceEvent
+	// TraceDetection locates a conventional detection within a trace
+	// event (time frame and primary output).
+	TraceDetection = core.TraceDetection
 	// FaultOutcome is the classification of one fault.
 	FaultOutcome = core.FaultOutcome
 	// Outcome is the per-fault classification code.
@@ -105,6 +123,12 @@ const (
 // N_STATES = 64, backward implications enabled, and the bit-parallel
 // conventional prescreen on (set Config.Prescreen to false to force the
 // serial per-fault conventional stage; outcomes are identical).
+// Instrumentation defaults to on (Config.Metrics); a run then carries
+// the per-stage time breakdown and pool gauges in Result.Stages and the
+// per-fault histograms in Result.Metrics. Set Config.TraceWriter to
+// stream one JSON object per fault (see TraceEvent); the stream is
+// byte-identical regardless of worker count unless Config.TraceTimings
+// adds wall-clock stage timings to each event.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
 // BaselineConfig returns the configuration of the comparison procedure of
