@@ -5,10 +5,11 @@
 GO ?= go
 
 # Test names covering code that runs concurrently or reuses pooled state:
-# RunParallel scheduling, the bit-parallel prescreen, and the trail/pool
-# cross-checks (pools must be per-worker, never shared).
+# RunParallel scheduling, the bit-parallel prescreen, the trail/pool
+# cross-checks (pools must be per-worker, never shared), and the shared
+# compiled-IR reads in internal/cir.
 RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck
-RACE_PKGS    := ./internal/core ./internal/bitsim
+RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir
 
 .PHONY: build test vet race verify bench bench-collect benchdiff
 
@@ -36,9 +37,11 @@ bench-collect:
 	$(GO) test -run xxx -bench 'CollectPairs|SimulateList' -benchmem ./internal/core
 	$(GO) test -run xxx -bench 'Imply' -benchmem ./internal/implic
 
-# Fresh whole-list bench run compared against the recorded PR2 numbers;
-# fails on any median slowdown beyond 10%.
-BENCH_BASELINE ?= BENCH_PR2.json
+# Fresh whole-list bench run compared against a recorded baseline; fails
+# on any median slowdown beyond 10%. With no BENCH_BASELINE, benchdiff
+# picks the newest BENCH_*.json; set BENCH_BASELINE=BENCH_PR2.json (etc.)
+# to compare against a specific PR.
+BENCH_BASELINE ?=
 benchdiff:
 	$(GO) test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 . | tee benchdiff.out
-	$(GO) run ./cmd/benchdiff -baseline $(BENCH_BASELINE) benchdiff.out
+	$(GO) run ./cmd/benchdiff $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) benchdiff.out

@@ -1,8 +1,12 @@
 // Command benchdiff compares a `go test -bench` run against a recorded
-// baseline (BENCH_PR2.json style) and flags regressions:
+// baseline (BENCH_*.json style) and flags regressions:
 //
 //	go test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 . > bench.out
 //	benchdiff -baseline BENCH_PR2.json bench.out
+//
+// With no -baseline, the newest BENCH_*.json in the current directory
+// (by modification time) is used, so the default always compares against
+// the most recently recorded PR.
 //
 // For every benchmark present in both the baseline's "after" section and
 // the fresh run, it compares median ns/op and prints the delta; any
@@ -19,9 +23,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // benchEntry mirrors one benchmark record of the baseline JSON.
@@ -41,10 +47,19 @@ type baselineFile struct {
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_PR2.json", "baseline JSON file (compared against its \"after\" section)")
+		baselinePath = flag.String("baseline", "", "baseline JSON file (compared against its \"after\" section); default: newest BENCH_*.json")
 		threshold    = flag.Float64("threshold", 10, "flag slowdowns beyond this percentage")
 	)
 	flag.Parse()
+	if *baselinePath == "" {
+		p, err := newestBaseline(".")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+		*baselinePath = p
+		fmt.Fprintln(os.Stderr, "benchdiff: baseline", p)
+	}
 	in := os.Stdin
 	if flag.NArg() > 1 {
 		fmt.Fprintln(os.Stderr, "benchdiff: at most one bench-output file")
@@ -67,6 +82,29 @@ func main() {
 	if !ok {
 		os.Exit(1)
 	}
+}
+
+// newestBaseline returns the BENCH_*.json file in dir with the latest
+// modification time.
+func newestBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestTime := "", time.Time{}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil {
+			continue
+		}
+		if best == "" || fi.ModTime().After(bestTime) {
+			best, bestTime = m, fi.ModTime()
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_*.json baseline found in %s (pass -baseline)", dir)
+	}
+	return best, nil
 }
 
 // run compares the bench output read from in against the baseline file;

@@ -18,6 +18,7 @@ package atpg
 import (
 	"fmt"
 
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -103,6 +104,7 @@ func (p pair) isD() bool {
 // Generator holds per-circuit state.
 type Generator struct {
 	c   *netlist.Circuit
+	cc  *cir.CC
 	cfg Config
 	m   *testability.Measures
 
@@ -121,7 +123,7 @@ func New(c *netlist.Circuit, cfg Config) (*Generator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g := &Generator{c: c, cfg: cfg, m: testability.Compute(c)}
+	g := &Generator{c: c, cc: cir.For(c), cfg: cfg, m: testability.Compute(c)}
 	g.pi = make([][]logic.Val, cfg.MaxFrames)
 	g.vals = make([][]pair, cfg.MaxFrames)
 	for u := 0; u < cfg.MaxFrames; u++ {
@@ -230,28 +232,27 @@ func (g *Generator) verify(T seqsim.Sequence) bool {
 
 // simulate evaluates all frames under the current PI assignment.
 func (g *Generator) simulate() {
-	c := g.c
+	cc := g.cc
 	for u := 0; u < g.frames; u++ {
 		vals := g.vals[u]
-		for i, id := range c.Inputs {
+		for i, id := range cc.Inputs {
 			v := g.pi[u][i]
 			p := pair{g: v, f: v}
 			p = g.inject(id, p)
 			vals[id] = p
 		}
-		for _, ff := range c.FFs {
+		for i, q := range cc.FFQ {
 			var p pair
 			if u == 0 {
 				p = pair{g: logic.X, f: logic.X}
 			} else {
-				p = g.vals[u-1][ff.D]
+				p = g.vals[u-1][cc.FFD[i]]
 			}
-			p = g.inject(ff.Q, p)
-			vals[ff.Q] = p
+			p = g.inject(q, p)
+			vals[q] = p
 		}
-		for _, gi := range c.Order {
-			gate := &c.Gates[gi]
-			vals[gate.Out] = g.evalGate(u, gi, gate)
+		for _, gi := range cc.Order {
+			vals[cc.GOut[gi]] = g.evalGate(u, gi)
 		}
 	}
 }
@@ -264,27 +265,33 @@ func (g *Generator) inject(id netlist.NodeID, p pair) pair {
 	return p
 }
 
-// evalGate computes a gate's pair value in frame u.
-func (g *Generator) evalGate(u int, gi netlist.GateID, gate *netlist.Gate) pair {
+// evalGate computes a gate's pair value in frame u: the good and faulty
+// sides are gathered from the CSR fanin (branch faults applied to the
+// faulty side) and each folded through the shared gate semantics.
+func (g *Generator) evalGate(u int, gi netlist.GateID) pair {
+	cc := g.cc
 	var bufG, bufF [8]logic.Val
-	n := len(gate.In)
+	lo, hi := cc.FaninStart[gi], cc.FaninStart[gi+1]
+	n := int(hi - lo)
 	ing := bufG[:0]
 	inf := bufF[:0]
 	if n > len(bufG) {
 		ing = make([]logic.Val, 0, n)
 		inf = make([]logic.Val, 0, n)
 	}
-	for pi, id := range gate.In {
+	for k := lo; k < hi; k++ {
+		id := cc.Fanin[k]
 		p := g.vals[u][id]
 		fv := p.f
-		if g.flt.Node == id && !g.flt.IsStem() && g.flt.Gate == gi && g.flt.Pin == int32(pi) {
+		if g.flt.Node == id && !g.flt.IsStem() && g.flt.Gate == gi && g.flt.Pin == k-lo {
 			fv = g.flt.Stuck
 		}
 		ing = append(ing, p.g)
 		inf = append(inf, fv)
 	}
-	out := pair{g: logic.Eval(gate.Op, ing), f: logic.Eval(gate.Op, inf)}
-	return g.inject(gate.Out, out)
+	op := cc.Ops[gi]
+	out := pair{g: cir.EvalOp(op, ing), f: cir.EvalOp(op, inf)}
+	return g.inject(cc.GOut[gi], out)
 }
 
 // detected reports whether some primary output in some frame carries a
@@ -335,14 +342,16 @@ func (g *Generator) nextObjective() (frame, input int, val logic.Val, ok bool) {
 		return 0, 0, logic.X, false
 	}
 	// Propagation objective: scan D-frontier gates frame by frame.
+	cc := g.cc
 	for u := 0; u < g.frames; u++ {
-		for _, gi := range g.c.Order {
-			gate := &g.c.Gates[gi]
-			if g.vals[u][gate.Out].g != logic.X && g.vals[u][gate.Out].f != logic.X {
+		for _, gi := range cc.Order {
+			out := g.vals[u][cc.GOut[gi]]
+			if out.g != logic.X && out.f != logic.X {
 				continue
 			}
+			fanin := cc.FaninOf(gi)
 			hasD := false
-			for _, id := range gate.In {
+			for _, id := range fanin {
 				if g.vals[u][id].isD() {
 					hasD = true
 					break
@@ -352,8 +361,8 @@ func (g *Generator) nextObjective() (frame, input int, val logic.Val, ok bool) {
 				continue
 			}
 			// Set an X input to the non-controlling value.
-			want := nonControlling(gate.Op)
-			for _, id := range gate.In {
+			want := nonControlling(cc.Ops[gi])
+			for _, id := range fanin {
 				p := g.vals[u][id]
 				if p.g == logic.X && !p.isD() {
 					if fr, in, v, found := g.backtrace(u, id, want); found {

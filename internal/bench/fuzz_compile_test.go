@@ -1,0 +1,51 @@
+package bench_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cir"
+	"repro/internal/circuits"
+	"repro/internal/netlist"
+)
+
+// FuzzBuildCircuit drives arbitrary .bench text through the parser, the
+// netlist builder and the compiled-IR flattener: any circuit the builder
+// accepts must compile without panicking, and the compiled arrays must
+// round-trip the netlist's counts and per-gate structure. Compile (not
+// the process-wide For cache) keeps the fuzz corpus from growing the
+// cache without bound.
+func FuzzBuildCircuit(f *testing.F) {
+	f.Add("INPUT(a)\nOUTPUT(y)\ny = NAND(a, a)\n")
+	f.Add(circuits.S27Bench)
+	f.Add("q = DFF(q)\nOUTPUT(q)\n")
+	f.Add("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nd = XOR(a, q)\nq = DFF(d)\ny = OR(b, q)\n")
+	f.Add("INPUT(a)\nOUTPUT(a)\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := bench.ParseString("fuzz", src)
+		if err != nil {
+			return
+		}
+		cc := cir.Compile(c)
+		if cc.NumGates() != c.NumGates() || cc.NumNodes() != c.NumNodes() ||
+			cc.NumInputs() != c.NumInputs() || cc.NumOutputs() != c.NumOutputs() ||
+			cc.NumFFs() != c.NumFFs() {
+			t.Fatalf("compiled counts (%d g, %d n, %d i, %d o, %d ff) differ from netlist (%d g, %d n, %d i, %d o, %d ff)",
+				cc.NumGates(), cc.NumNodes(), cc.NumInputs(), cc.NumOutputs(), cc.NumFFs(),
+				c.NumGates(), c.NumNodes(), c.NumInputs(), c.NumOutputs(), c.NumFFs())
+		}
+		total := 0
+		for gi := range c.Gates {
+			g := &c.Gates[gi]
+			fanin := cc.FaninOf(netlist.GateID(gi))
+			if len(fanin) != len(g.In) {
+				t.Fatalf("gate %d: compiled fanin width %d, netlist %d", gi, len(fanin), len(g.In))
+			}
+			total += len(g.In)
+		}
+		if len(cc.Fanin) != total || len(cc.FanoutGate) != total {
+			t.Fatalf("CSR sizes (%d fanin, %d fanout) differ from total pin count %d",
+				len(cc.Fanin), len(cc.FanoutGate), total)
+		}
+	})
+}

@@ -5,6 +5,13 @@
 // speed-up the paper sets aside ("we do not consider methods to speed up
 // the simulation process"); it accelerates the conventional-simulation
 // stage and is validated lane-for-lane against the serial simulator.
+//
+// The circuit structure and the lane-wise gate semantics come from the
+// compiled IR (internal/cir): the frame loop walks the CSR arrays and
+// every gate evaluates through cir.EvalOpVV. What stays here is fault
+// injection — the dense per-node stem table and per-gate branch table
+// are batch-specific (each batch carries a different 63-fault lane
+// assignment), not circuit structure.
 package bitsim
 
 import (
@@ -13,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -23,55 +31,8 @@ import (
 // the remaining lanes carry one fault each.
 const Lanes = 64
 
-// VV is a 64-lane three-valued vector: bit k of One set means lane k
-// carries 1, bit k of Zero set means lane k carries 0, neither bit set
-// means lane k carries X. (Both set is invalid.)
-type VV struct {
-	Zero, One uint64
-}
-
-// broadcast returns the VV carrying v on every lane.
-func broadcast(v logic.Val) VV {
-	switch v {
-	case logic.Zero:
-		return VV{Zero: ^uint64(0)}
-	case logic.One:
-		return VV{One: ^uint64(0)}
-	}
-	return VV{}
-}
-
-// lane extracts the value of lane k.
-func (v VV) lane(k uint) logic.Val {
-	switch {
-	case v.One>>k&1 == 1:
-		return logic.One
-	case v.Zero>>k&1 == 1:
-		return logic.Zero
-	}
-	return logic.X
-}
-
-// not complements all lanes.
-func (v VV) not() VV { return VV{Zero: v.One, One: v.Zero} }
-
-// and2 folds two operands under AND semantics.
-func and2(a, b VV) VV {
-	return VV{One: a.One & b.One, Zero: a.Zero | b.Zero}
-}
-
-// or2 folds two operands under OR semantics.
-func or2(a, b VV) VV {
-	return VV{One: a.One | b.One, Zero: a.Zero & b.Zero}
-}
-
-// xor2 folds two operands under XOR semantics; unknown lanes stay X.
-func xor2(a, b VV) VV {
-	return VV{
-		One:  a.One&b.Zero | a.Zero&b.One,
-		Zero: a.One&b.One | a.Zero&b.Zero,
-	}
-}
+// VV is the 64-lane three-valued vector (see cir.VV for the encoding).
+type VV = cir.VV
 
 // stemForce accumulates per-node stem-fault injections.
 type stemForce struct {
@@ -98,7 +59,7 @@ type branchForce struct {
 
 // batch simulates one group of at most Lanes-1 faults.
 type batch struct {
-	c      *netlist.Circuit
+	cc     *cir.CC
 	faults []fault.Fault
 	// stems[id] is the accumulated stem-fault injection at node id; a
 	// dense table indexed by NodeID keeps the per-gate, per-frame lookup
@@ -106,8 +67,8 @@ type batch struct {
 	stems []stemForce
 	// branch[gi] lists the branch-fault injections at gate gi's pins.
 	branch [][]branchForce
-	vals   []VV
-	state  []VV
+	vals  []VV
+	state []VV
 }
 
 // newBatch prepares injection tables for a fault group.
@@ -115,13 +76,14 @@ func newBatch(c *netlist.Circuit, faults []fault.Fault) (*batch, error) {
 	if len(faults) > Lanes-1 {
 		return nil, fmt.Errorf("bitsim: batch of %d faults exceeds %d lanes", len(faults), Lanes-1)
 	}
+	cc := cir.For(c)
 	b := &batch{
-		c:      c,
+		cc:     cc,
 		faults: faults,
-		stems:  make([]stemForce, c.NumNodes()),
-		branch: make([][]branchForce, c.NumGates()),
-		vals:   make([]VV, c.NumNodes()),
-		state:  make([]VV, c.NumFFs()),
+		stems:  make([]stemForce, cc.NumNodes()),
+		branch: make([][]branchForce, cc.NumGates()),
+		vals:   make([]VV, cc.NumNodes()),
+		state:  make([]VV, cc.NumFFs()),
 	}
 	for k, f := range faults {
 		mask := uint64(1) << uint(k+1)
@@ -156,35 +118,17 @@ func (b *batch) read(gi netlist.GateID, pi int32, id netlist.NodeID) VV {
 	return v
 }
 
-// evalGate computes a gate's output VV.
+// evalGate streams gate gi's observed inputs through the shared
+// lane-wise fold, keeping the accumulator in registers rather than
+// bouncing the gathered vectors through memory.
 func (b *batch) evalGate(gi netlist.GateID) VV {
-	g := &b.c.Gates[gi]
-	switch g.Op {
-	case logic.Const0:
-		return broadcast(logic.Zero)
-	case logic.Const1:
-		return broadcast(logic.One)
-	case logic.Buf:
-		return b.read(gi, 0, g.In[0])
-	case logic.Not:
-		return b.read(gi, 0, g.In[0]).not()
+	cc := b.cc
+	fo := cir.StartVV(cc.Ops[gi])
+	lo, hi := cc.FaninStart[gi], cc.FaninStart[gi+1]
+	for k := lo; k < hi; k++ {
+		fo.Add(b.read(gi, k-lo, cc.Fanin[k]))
 	}
-	acc := b.read(gi, 0, g.In[0])
-	for pi := 1; pi < len(g.In); pi++ {
-		v := b.read(gi, int32(pi), g.In[pi])
-		switch g.Op {
-		case logic.And, logic.Nand:
-			acc = and2(acc, v)
-		case logic.Or, logic.Nor:
-			acc = or2(acc, v)
-		case logic.Xor, logic.Xnor:
-			acc = xor2(acc, v)
-		}
-	}
-	if g.Op.Inverting() {
-		acc = acc.not()
-	}
-	return acc
+	return fo.Result()
 }
 
 // Batches returns the number of (Lanes-1)-fault batches needed to
@@ -297,7 +241,7 @@ func runGroup(c *netlist.Circuit, T seqsim.Sequence, group []fault.Fault, result
 // run simulates the batch and fills results (one per fault lane),
 // accumulating frame counts into st (nil-safe).
 func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult, st *Stats) error {
-	c := b.c
+	cc := b.cc
 	for k := range results {
 		results[k] = seqsim.FaultResult{Fault: b.faults[k]}
 	}
@@ -315,25 +259,25 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult, st *Stats) 
 	}
 	resolved := uint64(0)
 	for u, pat := range T {
-		if len(pat) != c.NumInputs() {
+		if len(pat) != cc.NumInputs() {
 			return fmt.Errorf("bitsim: pattern %d has %d values, circuit has %d inputs",
-				u, len(pat), c.NumInputs())
+				u, len(pat), cc.NumInputs())
 		}
-		for i, id := range c.Inputs {
-			b.vals[id] = b.stems[id].apply(broadcast(pat[i]))
+		for i, id := range cc.Inputs {
+			b.vals[id] = b.stems[id].apply(cir.Broadcast(pat[i]))
 		}
-		for i, ff := range c.FFs {
-			b.vals[ff.Q] = b.stems[ff.Q].apply(b.state[i])
+		for i, q := range cc.FFQ {
+			b.vals[q] = b.stems[q].apply(b.state[i])
 		}
-		for _, gi := range c.Order {
-			out := c.Gates[gi].Out
+		for _, gi := range cc.Order {
+			out := cc.GOut[gi]
 			b.vals[out] = b.stems[out].apply(b.evalGate(gi))
 		}
 		// Detections: lane 0 is the fault-free machine.
-		for j, id := range c.Outputs {
+		for j, id := range cc.Outputs {
 			v := b.vals[id]
 			var detected uint64
-			switch v.lane(0) {
+			switch v.Lane(0) {
 			case logic.One:
 				detected = v.Zero
 			case logic.Zero:
@@ -356,8 +300,8 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult, st *Stats) 
 			return nil
 		}
 		// Latch the next state, observing stem faults on Q nodes.
-		for i, ff := range c.FFs {
-			b.state[i] = b.stems[ff.Q].apply(b.vals[ff.D])
+		for i, q := range cc.FFQ {
+			b.state[i] = b.stems[q].apply(b.vals[cc.FFD[i]])
 		}
 	}
 	st.add(int64(len(T)), 0)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/cir"
 	"repro/internal/circuits"
 	"repro/internal/fault"
 	"repro/internal/logic"
@@ -14,22 +15,22 @@ import (
 )
 
 func TestVVHelpers(t *testing.T) {
-	one := broadcast(logic.One)
-	zero := broadcast(logic.Zero)
-	x := broadcast(logic.X)
-	if one.lane(0) != logic.One || zero.lane(63) != logic.Zero || x.lane(5) != logic.X {
+	one := cir.Broadcast(logic.One)
+	zero := cir.Broadcast(logic.Zero)
+	x := cir.Broadcast(logic.X)
+	if one.Lane(0) != logic.One || zero.Lane(63) != logic.Zero || x.Lane(5) != logic.X {
 		t.Fatal("broadcast/lane wrong")
 	}
-	if one.not().lane(3) != logic.Zero {
+	if one.Not().Lane(3) != logic.Zero {
 		t.Fatal("not wrong")
 	}
-	if and2(one, x).lane(0) != logic.X || and2(zero, x).lane(0) != logic.Zero {
+	if cir.And2(one, x).Lane(0) != logic.X || cir.And2(zero, x).Lane(0) != logic.Zero {
 		t.Fatal("and2 three-valued semantics wrong")
 	}
-	if or2(one, x).lane(0) != logic.One || or2(zero, x).lane(0) != logic.X {
+	if cir.Or2(one, x).Lane(0) != logic.One || cir.Or2(zero, x).Lane(0) != logic.X {
 		t.Fatal("or2 three-valued semantics wrong")
 	}
-	if xor2(one, x).lane(0) != logic.X || xor2(one, zero).lane(0) != logic.One {
+	if cir.Xor2(one, x).Lane(0) != logic.X || cir.Xor2(one, zero).Lane(0) != logic.One {
 		t.Fatal("xor2 three-valued semantics wrong")
 	}
 }
@@ -101,7 +102,7 @@ func TestGateEvalMatchesScalar(t *testing.T) {
 				in[i] = scalar[i][k]
 			}
 			want := logic.Eval(op, in)
-			if got := out.lane(uint(k)); got != want {
+			if got := out.Lane(uint(k)); got != want {
 				t.Fatalf("op %v lane %d: got %v, want %v (inputs %v)", op, k, got, want, in)
 			}
 		}

@@ -1,0 +1,77 @@
+package cir_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cir"
+	"repro/internal/fault"
+	"repro/internal/logic"
+)
+
+// TestConeParallelCrossCheck shares one compiled circuit across many
+// goroutines, each with its own Evaluator and Cone, and cross-checks
+// their frame values and cone contents against a serial pass. Run under
+// -race it also proves a CC is safe for concurrent read-only use.
+func TestConeParallelCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	c, err := randomCircuit(rng, 4, 4, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := cir.For(c)
+	faults := fault.List(c)
+	pi := randomVals(rng, c.NumInputs())
+	ps := randomVals(rng, c.NumFFs())
+
+	// Serial reference pass.
+	type ref struct {
+		vals  []logic.Val
+		gates int
+		ffs   int
+		outs  int
+	}
+	ev := cc.NewEvaluator()
+	co := cc.NewCone()
+	want := make([]ref, len(faults))
+	for i := range faults {
+		vals := make([]logic.Val, cc.NumNodes())
+		ev.EvalFrame(pi, ps, &faults[i], vals)
+		cc.FillCone(&faults[i], co)
+		want[i] = ref{vals: vals, gates: len(co.Gates), ffs: len(co.FFs), outs: len(co.Outs)}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ev := cc.NewEvaluator()
+			co := cc.NewCone()
+			vals := make([]logic.Val, cc.NumNodes())
+			// Stagger start points so workers touch different faults at
+			// the same instant.
+			for k := 0; k < len(faults); k++ {
+				i := (k + w*7) % len(faults)
+				ev.EvalFrame(pi, ps, &faults[i], vals)
+				for id := range vals {
+					if vals[id] != want[i].vals[id] {
+						t.Errorf("worker %d, %s: node %d = %v, serial %v",
+							w, faults[i].Name(c), id, vals[id], want[i].vals[id])
+						return
+					}
+				}
+				cc.FillCone(&faults[i], co)
+				if len(co.Gates) != want[i].gates || len(co.FFs) != want[i].ffs || len(co.Outs) != want[i].outs {
+					t.Errorf("worker %d, %s: cone (%d,%d,%d), serial (%d,%d,%d)",
+						w, faults[i].Name(c), len(co.Gates), len(co.FFs), len(co.Outs),
+						want[i].gates, want[i].ffs, want[i].outs)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,129 @@
+package cir
+
+// 64-lane bit-parallel three-valued values and the bit-parallel half of
+// the gate semantics (EvalOpVV), shared with the scalar half (EvalOp)
+// so both evaluation domains live in this package.
+
+import "repro/internal/logic"
+
+// VV is a 64-lane three-valued vector: bit k of One set means lane k
+// carries 1, bit k of Zero set means lane k carries 0, neither bit set
+// means lane k carries X. (Both set is invalid.)
+type VV struct {
+	Zero, One uint64
+}
+
+// Broadcast returns the VV carrying v on every lane.
+func Broadcast(v logic.Val) VV {
+	switch v {
+	case logic.Zero:
+		return VV{Zero: ^uint64(0)}
+	case logic.One:
+		return VV{One: ^uint64(0)}
+	}
+	return VV{}
+}
+
+// Lane extracts the value of lane k.
+func (v VV) Lane(k uint) logic.Val {
+	switch {
+	case v.One>>k&1 == 1:
+		return logic.One
+	case v.Zero>>k&1 == 1:
+		return logic.Zero
+	}
+	return logic.X
+}
+
+// Not complements all lanes.
+func (v VV) Not() VV { return VV{Zero: v.One, One: v.Zero} }
+
+// And2 folds two operands under AND semantics.
+func And2(a, b VV) VV {
+	return VV{One: a.One & b.One, Zero: a.Zero | b.Zero}
+}
+
+// Or2 folds two operands under OR semantics.
+func Or2(a, b VV) VV {
+	return VV{One: a.One | b.One, Zero: a.Zero & b.Zero}
+}
+
+// Xor2 folds two operands under XOR semantics; unknown lanes stay X.
+func Xor2(a, b VV) VV {
+	return VV{
+		One:  a.One&b.Zero | a.Zero&b.One,
+		Zero: a.One&b.One | a.Zero&b.Zero,
+	}
+}
+
+// foldKind selects the two-operand fold an operator reduces under.
+type foldKind uint8
+
+const (
+	foldAnd foldKind = iota
+	foldOr           // also Buf/Not: Or from the identity passes the input through
+	foldXor
+)
+
+// VVFold streams a gate's input vectors through the lane-wise fold one
+// at a time, keeping the accumulator in registers instead of requiring
+// callers to materialize a gathered input slice. It is the single home
+// of the bit-parallel fold semantics; EvalOpVV is defined on top of it.
+//
+// The accumulator starts at the fold's identity element (all-1 lanes
+// for AND, all-0 lanes for OR and XOR), so Add has no first-input
+// special case and inlines into callers' gather loops.
+type VVFold struct {
+	op   logic.Op
+	kind foldKind
+	acc  VV
+}
+
+// StartVV begins a fold under op.
+func StartVV(op logic.Op) VVFold {
+	switch op {
+	case logic.And, logic.Nand:
+		return VVFold{op: op, kind: foldAnd, acc: VV{One: ^uint64(0)}}
+	case logic.Xor, logic.Xnor:
+		return VVFold{op: op, kind: foldXor, acc: VV{Zero: ^uint64(0)}}
+	}
+	return VVFold{op: op, kind: foldOr, acc: VV{Zero: ^uint64(0)}}
+}
+
+// Add folds the next input vector into the accumulator.
+func (f *VVFold) Add(v VV) {
+	switch f.kind {
+	case foldAnd:
+		f.acc.One &= v.One
+		f.acc.Zero |= v.Zero
+	case foldOr:
+		f.acc.One |= v.One
+		f.acc.Zero &= v.Zero
+	default:
+		f.acc = Xor2(f.acc, v)
+	}
+}
+
+// Result completes the fold, applying the operator's output inversion.
+func (f *VVFold) Result() VV {
+	switch f.op {
+	case logic.Const0:
+		return Broadcast(logic.Zero)
+	case logic.Const1:
+		return Broadcast(logic.One)
+	}
+	if f.op.Inverting() {
+		return f.acc.Not()
+	}
+	return f.acc
+}
+
+// EvalOpVV folds the gathered input vectors under op — the 64-lane
+// counterpart of EvalOp, lane-for-lane equivalent to logic.Eval.
+func EvalOpVV(op logic.Op, in []VV) VV {
+	f := StartVV(op)
+	for _, v := range in {
+		f.Add(v)
+	}
+	return f.Result()
+}

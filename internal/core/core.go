@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/implic"
 	"repro/internal/logic"
@@ -43,11 +44,16 @@ type FaultOutcome struct {
 // Simulator runs MOT fault simulation for one circuit and test sequence.
 // It is not safe for concurrent use; create one per goroutine.
 type Simulator struct {
-	c    *netlist.Circuit
-	cfg  Config
-	T    seqsim.Sequence
-	good *seqsim.Trace
-	sim  *seqsim.Simulator
+	c *netlist.Circuit
+	// cc is the compiled circuit IR every engine in the pipeline runs on.
+	// It is compiled once per circuit (NewSimulator times the compile)
+	// and shared read-only by all RunParallel workers.
+	cc      *cir.CC
+	compile time.Duration
+	cfg     Config
+	T       seqsim.Sequence
+	good    *seqsim.Trace
+	sim     *seqsim.Simulator
 	// pools holds this simulator's reusable frames, arenas and scratch
 	// buffers (see pool.go). RunParallel workers each get a fresh
 	// Simulator value, so pools are never shared between goroutines.
@@ -71,12 +77,15 @@ func NewSimulator(c *netlist.Circuit, T seqsim.Sequence, cfg Config) (*Simulator
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	sim := seqsim.New(c)
+	compileStart := time.Now()
+	cc := cir.For(c)
+	compile := time.Since(compileStart)
+	sim := seqsim.NewCompiled(cc)
 	good, err := sim.Run(T, nil, true)
 	if err != nil {
 		return nil, err
 	}
-	s := &Simulator{c: c, cfg: cfg, T: T, good: good, sim: sim}
+	s := &Simulator{c: c, cc: cc, compile: compile, cfg: cfg, T: T, good: good, sim: sim}
 	if cfg.Metrics {
 		s.stats = &runStats{}
 	}
@@ -193,7 +202,7 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 	}
 	s.lastStages = d
 	if err == nil && s.hist != nil {
-		s.hist.observeFault(&out, total)
+		s.hist.observeFault(&out, total, int64(s.sim.ConeSize()))
 	}
 	return out, err
 }
@@ -741,7 +750,7 @@ func (s *Simulator) resimulate(f *fault.Fault, seqs []*sequence, baseMarks []boo
 			if !marks[u] {
 				continue
 			}
-			seqsim.EvalFrame(c, s.T[u], sq.states[u], f, vals)
+			s.sim.EvalFrame(s.T[u], sq.states[u], f, vals)
 			// Output conflict with the fault-free response: detection.
 			g := s.good.Outputs[u]
 			for j, id := range c.Outputs {
@@ -836,6 +845,11 @@ type Stages struct {
 	PrescreenSavedFrames int64
 	// PrescreenTime is the wall-clock duration of the prescreen stage.
 	PrescreenTime time.Duration
+	// CompileTime is the wall-clock duration of the circuit IR compile
+	// (cir.Compile) performed by NewSimulator. The compile is cached
+	// process-wide per circuit, so repeat runs on the same circuit report
+	// only the cache lookup.
+	CompileTime time.Duration
 	// MOTTime is the wall-clock duration of the per-fault stage (the
 	// serial step 0 for survivors plus the MOT analysis proper).
 	MOTTime time.Duration
@@ -889,6 +903,7 @@ func (r *Result) AvgCounters() (det, conf, extra float64) {
 // identical either way.
 func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*Result, error) {
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
+	res.Stages.CompileTime = s.compile
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
 	s.beginRun(res)
 	pre, err := s.prescreen(faults, 1, res)
@@ -958,6 +973,7 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 		return s.Run(faults, progress)
 	}
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
+	res.Stages.CompileTime = s.compile
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
 	s.beginRun(res)
 	pre, err := s.prescreen(faults, workers, res)
@@ -995,8 +1011,8 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 	workerSims := make([]*Simulator, nw)
 	for w := range workerSims {
 		worker := &Simulator{
-			c: s.c, cfg: s.cfg, T: s.T, good: s.good,
-			sim:  seqsim.New(s.c),
+			c: s.c, cc: s.cc, compile: s.compile, cfg: s.cfg, T: s.T, good: s.good,
+			sim:  seqsim.NewCompiled(s.cc),
 			hist: s.hist,
 		}
 		if s.cfg.Metrics {

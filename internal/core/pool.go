@@ -90,7 +90,7 @@ func (s *Simulator) resetCollect() {
 // fault and base assignment.
 func (s *Simulator) pairFrame(f *fault.Fault, base []logic.Val) *implic.Frame {
 	if s.pools.pairFrame == nil {
-		s.pools.pairFrame = implic.New(s.c, f, base)
+		s.pools.pairFrame = implic.NewCompiled(s.cc, f, base)
 		if st := s.stats; st != nil {
 			st.pool.FrameAllocs++
 		}
@@ -116,7 +116,7 @@ func (s *Simulator) deepFrame(d int, f *fault.Fault, base []logic.Val) *implic.F
 		}
 		return fr
 	}
-	fr := implic.New(s.c, f, base)
+	fr := implic.NewCompiled(s.cc, f, base)
 	s.pools.deepFrames[d] = fr
 	if st := s.stats; st != nil {
 		st.pool.FrameAllocs++

@@ -153,6 +153,11 @@ type RunMetrics struct {
 	// FaultTimeNS is the distribution of per-fault wall time
 	// (SimulateFault, nanoseconds).
 	FaultTimeNS *metrics.Histogram
+	// ConeGatesPerFault is the distribution of active-cone sizes (gates
+	// in the sequential fanout closure of the fault site) over the faults
+	// that entered the per-fault pipeline — the share of the circuit
+	// faulty simulation actually visits per fault.
+	ConeGatesPerFault *metrics.Histogram
 }
 
 // newRunMetrics builds the run histograms with power-of-two bucket
@@ -163,15 +168,17 @@ func newRunMetrics() *RunMetrics {
 		ExpansionsPerFault: metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
 		SequencesAtStop:    metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
 		FaultTimeNS:        metrics.NewHistogram(metrics.ExpBounds(1024, 4, 14)...),
+		ConeGatesPerFault:  metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
 	}
 }
 
 // observeFault records one completed per-fault pipeline execution.
-func (m *RunMetrics) observeFault(o *FaultOutcome, totalNS int64) {
+func (m *RunMetrics) observeFault(o *FaultOutcome, totalNS, coneGates int64) {
 	m.PairsPerFault.Observe(int64(o.Pairs))
 	m.ExpansionsPerFault.Observe(int64(o.Expansions))
 	m.SequencesAtStop.Observe(int64(o.Sequences))
 	m.FaultTimeNS.Observe(totalNS)
+	m.ConeGatesPerFault.Observe(coneGates)
 }
 
 // beginRun resets the per-run instrumentation state on s according to

@@ -10,9 +10,14 @@
 // exactly two passes — one from outputs to inputs and one from inputs to
 // outputs — to keep computation time low. An event-driven fixpoint
 // schedule is available as an extension.
+//
+// All structural walks run on the compiled circuit IR (internal/cir);
+// forward gate semantics are cir.EvalOp and backward inference is
+// logic.InferInputsInto.
 package implic
 
 import (
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -30,7 +35,7 @@ import (
 // trail needs no explicit old values — undoing a write always restores X.
 // The same log seeds the event-driven sweeps.
 type Frame struct {
-	c    *netlist.Circuit
+	cc   *cir.CC
 	flt  *fault.Fault
 	vals []logic.Val
 
@@ -48,24 +53,32 @@ type Frame struct {
 	queue []netlist.GateID
 }
 
-// noFault avoids nil checks on the hot path.
-var noFault = fault.Fault{Node: netlist.NoNode, Gate: netlist.NoGate}
-
 // New creates a frame from a base assignment (one value per node, as
 // produced by seqsim.EvalFrame with the same fault). The base is copied.
-// flt may be nil for a fault-free frame.
+// flt may be nil for a fault-free frame. The compiled IR is obtained from
+// the process-wide cache (cir.For).
 func New(c *netlist.Circuit, flt *fault.Fault, base []logic.Val) *Frame {
+	return NewCompiled(cir.For(c), flt, base)
+}
+
+// NewCompiled is New on an already-compiled circuit, sharing cc read-only
+// with any other evaluator.
+func NewCompiled(cc *cir.CC, flt *fault.Fault, base []logic.Val) *Frame {
 	if flt == nil {
-		flt = &noFault
+		flt = &cir.NoFault
 	}
 	vals := make([]logic.Val, len(base))
 	copy(vals, base)
+	n := cc.MaxFanin
+	if n < 1 {
+		n = 1
+	}
 	return &Frame{
-		c: c, flt: flt, vals: vals,
+		cc: cc, flt: flt, vals: vals,
 		conflictNode: netlist.NoNode,
-		inBuf:        make([]logic.Val, 8),
-		forcedBuf:    make([]logic.Val, 8),
-		inQ:          make([]bool, c.NumGates()),
+		inBuf:        make([]logic.Val, n),
+		forcedBuf:    make([]logic.Val, n),
+		inQ:          make([]bool, cc.NumGates()),
 	}
 }
 
@@ -86,7 +99,7 @@ func (fr *Frame) Reset(base []logic.Val) {
 // a fault-free frame.
 func (fr *Frame) ResetFault(flt *fault.Fault, base []logic.Val) {
 	if flt == nil {
-		flt = &noFault
+		flt = &cir.NoFault
 	}
 	fr.flt = flt
 	fr.Reset(base)
@@ -161,51 +174,43 @@ func (fr *Frame) Assign(n netlist.NodeID, v logic.Val) bool {
 	return true
 }
 
-// seenInputs fills fr.inBuf with the values gate g's pins observe.
-func (fr *Frame) seenInputs(gi netlist.GateID, g *netlist.Gate) []logic.Val {
-	if cap(fr.inBuf) < len(g.In) {
-		fr.inBuf = make([]logic.Val, len(g.In))
-	}
-	in := fr.inBuf[:len(g.In)]
-	for pi, id := range g.In {
-		in[pi] = fr.flt.SeenBy(gi, int32(pi), id, fr.vals[id])
+// seenInputs fills fr.inBuf with the values gate gi's pins observe; lo/hi
+// are the gate's CSR fanin bounds.
+func (fr *Frame) seenInputs(gi netlist.GateID, lo, hi int32) []logic.Val {
+	in := fr.inBuf[:hi-lo]
+	for k := lo; k < hi; k++ {
+		id := fr.cc.Fanin[k]
+		in[k-lo] = fr.flt.SeenBy(gi, k-lo, id, fr.vals[id])
 	}
 	return in
-}
-
-// forcedScratch returns the reusable buffer for InferInputsInto results.
-func (fr *Frame) forcedScratch(n int) []logic.Val {
-	if cap(fr.forcedBuf) < n {
-		fr.forcedBuf = make([]logic.Val, n)
-	}
-	return fr.forcedBuf[:n]
 }
 
 // inferGate applies the backward inference rules at gate gi, assigning
 // any forced input values. It returns false on conflict.
 func (fr *Frame) inferGate(gi netlist.GateID) bool {
-	c := fr.c
-	g := &c.Gates[gi]
-	if _, stuck := fr.flt.StuckNode(g.Out); stuck {
+	cc := fr.cc
+	gout := cc.GOut[gi]
+	if _, stuck := fr.flt.StuckNode(gout); stuck {
 		// The driver of a stuck stem is unobservable: the demanded value
 		// on the stem says nothing about the driver's inputs.
 		return true
 	}
-	out := fr.vals[g.Out]
+	out := fr.vals[gout]
 	if out == logic.X {
 		return true
 	}
-	in := fr.seenInputs(gi, g)
-	forced := fr.forcedScratch(len(in))
-	if !logic.InferInputsInto(g.Op, out, in, forced) {
-		fr.fail(g.Out)
+	lo, hi := cc.FaninStart[gi], cc.FaninStart[gi+1]
+	in := fr.seenInputs(gi, lo, hi)
+	forced := fr.forcedBuf[:len(in)]
+	if !logic.InferInputsInto(cc.Ops[gi], out, in, forced) {
+		fr.fail(gout)
 		return false
 	}
 	for pi, fv := range forced {
 		if fv == logic.X {
 			continue
 		}
-		id := g.In[pi]
+		id := cc.Fanin[lo+int32(pi)]
 		if fr.flt.Node == id && !fr.flt.IsStem() && fr.flt.Gate == gi && fr.flt.Pin == int32(pi) {
 			// The pin is stuck: a demanded value different from the stuck
 			// value can never be seen.
@@ -225,16 +230,16 @@ func (fr *Frame) inferGate(gi netlist.GateID) bool {
 // evalGateForward evaluates gate gi and merges its output value,
 // returning false on conflict.
 func (fr *Frame) evalGateForward(gi netlist.GateID) bool {
-	c := fr.c
-	g := &c.Gates[gi]
-	if _, stuck := fr.flt.StuckNode(g.Out); stuck {
+	cc := fr.cc
+	gout := cc.GOut[gi]
+	if _, stuck := fr.flt.StuckNode(gout); stuck {
 		return true
 	}
-	v := logic.Eval(g.Op, fr.seenInputs(gi, g))
+	v := cir.EvalOp(cc.Ops[gi], fr.seenInputs(gi, cc.FaninStart[gi], cc.FaninStart[gi+1]))
 	if v == logic.X {
 		return true
 	}
-	return fr.Assign(g.Out, v)
+	return fr.Assign(gout, v)
 }
 
 // BackwardSweep performs one dense pass over every gate from outputs to
@@ -245,7 +250,7 @@ func (fr *Frame) BackwardSweep() bool {
 	if fr.conflict {
 		return false
 	}
-	order := fr.c.Order
+	order := fr.cc.Order
 	for k := len(order) - 1; k >= 0; k-- {
 		if !fr.inferGate(order[k]) {
 			return false
@@ -262,7 +267,7 @@ func (fr *Frame) ForwardSweep() bool {
 	if fr.conflict {
 		return false
 	}
-	for _, gi := range fr.c.Order {
+	for _, gi := range fr.cc.Order {
 		if !fr.evalGateForward(gi) {
 			return false
 		}
@@ -292,15 +297,17 @@ func (fr *Frame) backwardClosure(cursor *int) bool {
 	if fr.conflict {
 		return false
 	}
+	cc := fr.cc
 	for {
 		for ; *cursor < len(fr.changed); *cursor++ {
 			n := fr.changed[*cursor]
-			if d := fr.c.Nodes[n].Driver; d != netlist.NoGate {
+			if d := cc.Driver[n]; d != netlist.NoGate {
 				fr.enq(d)
 			}
-			for _, pin := range fr.c.Nodes[n].Fanouts {
-				if fr.vals[fr.c.Gates[pin.Gate].Out].IsBinary() {
-					fr.enq(pin.Gate)
+			for k := cc.FanoutStart[n]; k < cc.FanoutStart[n+1]; k++ {
+				g := cc.FanoutGate[k]
+				if fr.vals[cc.GOut[g]].IsBinary() {
+					fr.enq(g)
 				}
 			}
 		}
@@ -324,10 +331,12 @@ func (fr *Frame) forwardClosure(cursor *int) bool {
 	if fr.conflict {
 		return false
 	}
+	cc := fr.cc
 	for {
 		for ; *cursor < len(fr.changed); *cursor++ {
-			for _, pin := range fr.c.Nodes[fr.changed[*cursor]].Fanouts {
-				fr.enq(pin.Gate)
+			n := fr.changed[*cursor]
+			for k := cc.FanoutStart[n]; k < cc.FanoutStart[n+1]; k++ {
+				fr.enq(cc.FanoutGate[k])
 			}
 		}
 		if len(fr.queue) == 0 {
@@ -373,20 +382,19 @@ func (fr *Frame) ImplyFixpoint(maxRounds int) bool {
 
 // Output returns the observed value of primary output j.
 func (fr *Frame) Output(j int) logic.Val {
-	return fr.vals[fr.c.Outputs[j]]
+	return fr.vals[fr.cc.Outputs[j]]
 }
 
 // NextState returns the effective value latched by flip-flop i: the value
 // of its D node, observed through any stem fault on its Q node.
 func (fr *Frame) NextState(i int) logic.Val {
-	ff := fr.c.FFs[i]
-	return fr.flt.Observed(ff.Q, fr.vals[ff.D])
+	return fr.flt.Observed(fr.cc.FFQ[i], fr.vals[fr.cc.FFD[i]])
 }
 
 // PresentState returns the effective value of flip-flop i's Q node in this
 // frame.
 func (fr *Frame) PresentState(i int) logic.Val {
-	return fr.vals[fr.c.FFs[i].Q]
+	return fr.vals[fr.cc.FFQ[i]]
 }
 
 // AssignNextState asserts that flip-flop i latches value v at the end of
@@ -396,13 +404,13 @@ func (fr *Frame) PresentState(i int) logic.Val {
 // the stuck value (the latched value is unobservable then, so the
 // assertion constrains nothing).
 func (fr *Frame) AssignNextState(i int, v logic.Val) bool {
-	ff := fr.c.FFs[i]
-	if sv, stuck := fr.flt.StuckNode(ff.Q); stuck {
+	q := fr.cc.FFQ[i]
+	if sv, stuck := fr.flt.StuckNode(q); stuck {
 		if v.IsBinary() && v != sv {
-			fr.fail(ff.Q)
+			fr.fail(q)
 			return false
 		}
 		return true
 	}
-	return fr.Assign(ff.D, v)
+	return fr.Assign(fr.cc.FFD[i], v)
 }

@@ -19,7 +19,7 @@ func framesEqual(t *testing.T, got, want *Frame, ctx string) {
 	for n := range want.vals {
 		if got.vals[n] != want.vals[n] {
 			t.Fatalf("%s: node %s = %v, want %v",
-				ctx, got.c.NodeName(netlist.NodeID(n)), got.vals[n], want.vals[n])
+				ctx, got.cc.Net.NodeName(netlist.NodeID(n)), got.vals[n], want.vals[n])
 		}
 	}
 }

@@ -20,6 +20,7 @@ package oracle
 import (
 	"fmt"
 
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -39,6 +40,8 @@ type Verdict struct {
 // Oracle precomputes the fault-free data for a circuit and test sequence.
 type Oracle struct {
 	c    *netlist.Circuit
+	cc   *cir.CC
+	ev   *cir.Evaluator
 	T    seqsim.Sequence
 	good *seqsim.Trace
 	// goodResponses holds the binary output responses of every fault-free
@@ -57,11 +60,12 @@ func New(c *netlist.Circuit, T seqsim.Sequence) (*Oracle, error) {
 	if err != nil {
 		return nil, err
 	}
-	o := &Oracle{c: c, T: T, good: good}
+	cc := cir.For(c)
+	o := &Oracle{c: c, cc: cc, ev: cc.NewEvaluator(), T: T, good: good}
 	n := c.NumFFs()
 	o.goodResponses = make([][][]logic.Val, 0, 1<<n)
 	for m := 0; m < 1<<n; m++ {
-		resp, err := o.respond(initState(c, m, nil), nil)
+		resp, err := o.respond(initState(cc, m, nil), nil)
 		if err != nil {
 			return nil, err
 		}
@@ -71,12 +75,12 @@ func New(c *netlist.Circuit, T seqsim.Sequence) (*Oracle, error) {
 }
 
 // initState builds the effective binary initial state with bit mask m.
-func initState(c *netlist.Circuit, m int, f *fault.Fault) []logic.Val {
-	st := make([]logic.Val, c.NumFFs())
-	for i, ff := range c.FFs {
+func initState(cc *cir.CC, m int, f *fault.Fault) []logic.Val {
+	st := make([]logic.Val, cc.NumFFs())
+	for i, q := range cc.FFQ {
 		v := logic.FromBool(m&(1<<i) != 0)
 		if f != nil {
-			v = f.Observed(ff.Q, v)
+			v = f.Observed(q, v)
 		}
 		st[i] = v
 	}
@@ -86,25 +90,25 @@ func initState(c *netlist.Circuit, m int, f *fault.Fault) []logic.Val {
 // respond simulates the machine (fault f, nil for fault-free) from the
 // given initial state and returns the per-frame output responses.
 func (o *Oracle) respond(st []logic.Val, f *fault.Fault) ([][]logic.Val, error) {
-	c := o.c
-	vals := make([]logic.Val, c.NumNodes())
+	cc := o.cc
+	vals := make([]logic.Val, cc.NumNodes())
 	resp := make([][]logic.Val, len(o.T))
 	for u, pat := range o.T {
-		if len(pat) != c.NumInputs() {
+		if len(pat) != cc.NumInputs() {
 			return nil, fmt.Errorf("oracle: pattern %d has %d values, circuit has %d inputs",
-				u, len(pat), c.NumInputs())
+				u, len(pat), cc.NumInputs())
 		}
-		seqsim.EvalFrame(c, pat, st, f, vals)
-		row := make([]logic.Val, c.NumOutputs())
-		for j, id := range c.Outputs {
+		o.ev.EvalFrame(pat, st, f, vals)
+		row := make([]logic.Val, cc.NumOutputs())
+		for j, id := range cc.Outputs {
 			row[j] = vals[id]
 		}
 		resp[u] = row
-		next := make([]logic.Val, c.NumFFs())
-		for i, ff := range c.FFs {
-			v := vals[ff.D]
+		next := make([]logic.Val, cc.NumFFs())
+		for i, d := range cc.FFD {
+			v := vals[d]
 			if f != nil {
-				v = f.Observed(ff.Q, v)
+				v = f.Observed(cc.FFQ[i], v)
 			}
 			next[i] = v
 		}
@@ -144,7 +148,7 @@ func (o *Oracle) Decide(f fault.Fault) (Verdict, error) {
 	v.RestrictedMOT = true
 	faultyResponses := make([][][]logic.Val, 0, 1<<n)
 	for m := 0; m < 1<<n; m++ {
-		resp, err := o.respond(initState(o.c, m, &f), &f)
+		resp, err := o.respond(initState(o.cc, m, &f), &f)
 		if err != nil {
 			return v, err
 		}

@@ -46,6 +46,7 @@ type StagesReport struct {
 	PrescreenFrames      int64 `json:"prescreen_frames"`
 	PrescreenSavedFrames int64 `json:"prescreen_saved_frames"`
 	PrescreenNS          int64 `json:"prescreen_ns"`
+	CompileNS            int64 `json:"compile_ns"`
 	MOTNS                int64 `json:"mot_ns"`
 
 	Step0NS   int64 `json:"step0_ns"`
@@ -66,6 +67,7 @@ type HistogramsReport struct {
 	ExpansionsPerFault metrics.Snapshot `json:"expansions_per_fault"`
 	SequencesAtStop    metrics.Snapshot `json:"sequences_at_stop"`
 	FaultTimeNS        metrics.Snapshot `json:"fault_time_ns"`
+	ConeGatesPerFault  metrics.Snapshot `json:"cone_gates_per_fault"`
 }
 
 // NewRunReport builds the JSON summary from a run result.
@@ -92,6 +94,7 @@ func NewRunReport(res *core.Result, method string, patterns, workers int, elapse
 			PrescreenFrames:      st.PrescreenFrames,
 			PrescreenSavedFrames: st.PrescreenSavedFrames,
 			PrescreenNS:          int64(st.PrescreenTime),
+			CompileNS:            int64(st.CompileTime),
 			MOTNS:                int64(st.MOTTime),
 			Step0NS:              int64(st.Step0Time),
 			CollectNS:            int64(st.CollectTime),
@@ -113,6 +116,7 @@ func NewRunReport(res *core.Result, method string, patterns, workers int, elapse
 			ExpansionsPerFault: m.ExpansionsPerFault.Snapshot(),
 			SequencesAtStop:    m.SequencesAtStop.Snapshot(),
 			FaultTimeNS:        m.FaultTimeNS.Snapshot(),
+			ConeGatesPerFault:  m.ConeGatesPerFault.Snapshot(),
 		}
 	}
 	return r
@@ -179,6 +183,7 @@ func FormatRunStats(res *core.Result) string {
 		fmt.Fprintf(&sb, "  pairs/fault:      %s\n", m.PairsPerFault.Snapshot())
 		fmt.Fprintf(&sb, "  expansions/fault: %s\n", m.ExpansionsPerFault.Snapshot())
 		fmt.Fprintf(&sb, "  sequences @stop:  %s\n", m.SequencesAtStop.Snapshot())
+		fmt.Fprintf(&sb, "  cone gates/fault: %s\n", m.ConeGatesPerFault.Snapshot())
 		fmt.Fprintf(&sb, "  fault time:       %s\n", m.FaultTimeNS.Snapshot().DurationString())
 	}
 	return sb.String()

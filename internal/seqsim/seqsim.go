@@ -5,12 +5,17 @@
 //
 // Simulation starts from the all-unspecified (X) initial state and applies
 // one input pattern per time frame, exactly as in the fault simulators the
-// paper builds on [1].
+// paper builds on [1]. All evaluation runs on the compiled circuit IR
+// (internal/cir); faulty simulation is confined to the fault's active
+// cone — the sequential fanout closure of the fault site — so each faulty
+// frame seeds and checks only the state variables and outputs the fault
+// can influence.
 package seqsim
 
 import (
 	"fmt"
 
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -110,18 +115,29 @@ func (s *SimStats) Merge(other SimStats) {
 }
 
 // Simulator runs three-valued simulation on one circuit. It is not safe
-// for concurrent use; create one per goroutine.
+// for concurrent use; create one per goroutine (the compiled circuit
+// behind it is shared read-only).
 type Simulator struct {
-	c *netlist.Circuit
+	cc *cir.CC
+	ev *cir.Evaluator
 
-	// scratch buffers reused across frames
+	// scratch buffer reused across frames
 	vals []logic.Val
-	good []logic.Val // fault-free frame values for delta evaluation
 
 	// delta-evaluation worklist state
 	dirty   []bool
 	levelQ  [][]netlist.GateID
 	useFull bool
+
+	// cone is the active cone of the fault most recently passed to
+	// RunFault/RunFaultInto (unused by the full-pass evaluator), a
+	// shared immutable cone from the compiled circuit's per-site cache.
+	// coneFault/coneValid memoize the site it was looked up for: the MOT
+	// pipeline re-runs the same fault many times (step0, portfolio
+	// retries), so even the cache lookup is skipped on repeats.
+	cone      *cir.Cone
+	coneFault fault.Fault
+	coneValid bool
 
 	stats SimStats
 }
@@ -134,20 +150,28 @@ func (s *Simulator) Stats() SimStats { return s.stats }
 func (s *Simulator) ResetStats() { s.stats = SimStats{} }
 
 // New returns a Simulator for the circuit using event-driven (delta) frame
-// evaluation for faulty frames.
+// evaluation confined to the fault's active cone for faulty frames. The
+// compiled IR is obtained from the process-wide cache (cir.For).
 func New(c *netlist.Circuit) *Simulator {
+	return NewCompiled(cir.For(c))
+}
+
+// NewCompiled returns a Simulator running on an already-compiled circuit,
+// sharing cc read-only with any other evaluator.
+func NewCompiled(cc *cir.CC) *Simulator {
 	return &Simulator{
-		c:      c,
-		vals:   make([]logic.Val, c.NumNodes()),
-		good:   make([]logic.Val, c.NumNodes()),
-		dirty:  make([]bool, c.NumGates()),
-		levelQ: make([][]netlist.GateID, c.MaxLevel+1),
+		cc:     cc,
+		ev:     cc.NewEvaluator(),
+		vals:   make([]logic.Val, cc.NumNodes()),
+		dirty:  make([]bool, cc.NumGates()),
+		levelQ: make([][]netlist.GateID, cc.MaxLevel+1),
+		cone:   cc.ConeOf(&cir.NoFault),
 	}
 }
 
 // NewFullPass returns a Simulator that evaluates every gate in every
-// faulty frame (the straightforward reference evaluator). Results are
-// identical to New; only performance differs.
+// faulty frame with no cone restriction (the straightforward reference
+// evaluator). Results are identical to New; only performance differs.
 func NewFullPass(c *netlist.Circuit) *Simulator {
 	s := New(c)
 	s.useFull = true
@@ -155,11 +179,15 @@ func NewFullPass(c *netlist.Circuit) *Simulator {
 }
 
 // Circuit returns the simulated circuit.
-func (s *Simulator) Circuit() *netlist.Circuit { return s.c }
+func (s *Simulator) Circuit() *netlist.Circuit { return s.cc.Net }
 
-// noFault is the absence of a fault; a nil *fault.Fault is not used so the
-// hot path avoids nil checks on methods.
-var noFault = fault.Fault{Node: netlist.NoNode, Gate: netlist.NoGate}
+// Compiled returns the compiled IR the simulator runs on.
+func (s *Simulator) Compiled() *cir.CC { return s.cc }
+
+// ConeSize returns the number of gates in the active cone prepared by the
+// most recent RunFault/RunFaultInto call (0 before the first call and for
+// the full-pass evaluator).
+func (s *Simulator) ConeSize() int { return s.cone.Size() }
 
 // EvalFrame computes the effective value of every node for one time frame
 // of circuit c: pi are the primary-input values, ps the effective
@@ -169,82 +197,64 @@ var noFault = fault.Fault{Node: netlist.NoNode, Gate: netlist.NoGate}
 // "Effective" means the value readers observe: a node with a stem fault
 // holds its stuck value and the value its driver would compute is
 // discarded, since no reader can observe it.
+//
+// The free function compiles (or re-uses the cached compile of) c and
+// allocates a small evaluator per call; hot paths should hold a Simulator
+// and use its EvalFrame method instead.
 func EvalFrame(c *netlist.Circuit, pi Pattern, ps []logic.Val, f *fault.Fault, vals []logic.Val) {
-	if f == nil {
-		f = &noFault
-	}
-	for i, id := range c.Inputs {
-		vals[id] = f.Observed(id, pi[i])
-	}
-	for i, ff := range c.FFs {
-		// ps is already effective (stem faults on Q applied by the caller
-		// that produced the state), but applying Observed again is
-		// harmless and protects direct callers.
-		vals[ff.Q] = f.Observed(ff.Q, ps[i])
-	}
-	for _, gi := range c.Order {
-		g := &c.Gates[gi]
-		vals[g.Out] = evalGate(c, g, gi, f, vals)
-	}
+	cir.For(c).NewEvaluator().EvalFrame(pi, ps, f, vals)
 }
 
-// evalGate computes the effective output value of one gate under fault f.
-func evalGate(c *netlist.Circuit, g *netlist.Gate, gi netlist.GateID, f *fault.Fault, vals []logic.Val) logic.Val {
-	if v, ok := f.StuckNode(g.Out); ok {
-		return v
-	}
-	var buf [8]logic.Val
-	in := buf[:0]
-	if len(g.In) > len(buf) {
-		in = make([]logic.Val, 0, len(g.In))
-	}
-	for pi, id := range g.In {
-		in = append(in, f.SeenBy(gi, int32(pi), id, vals[id]))
-	}
-	return logic.Eval(g.Op, in)
+// EvalFrame is the free EvalFrame on the simulator's compiled circuit,
+// reusing its gather scratch and performing no allocation. It does not
+// touch the work counters. Resimulation of expanded sequences goes
+// through here: an expanded sequence specifies arbitrary state variables,
+// so it cannot be confined to the active cone.
+func (s *Simulator) EvalFrame(pi Pattern, ps []logic.Val, f *fault.Fault, vals []logic.Val) {
+	s.ev.EvalFrame(pi, ps, f, vals)
 }
 
 // initialStateInto writes the effective all-X initial state under fault f.
-func initialStateInto(c *netlist.Circuit, f *fault.Fault, st []logic.Val) {
-	for i, ff := range c.FFs {
-		st[i] = f.Observed(ff.Q, ff.Init)
+func initialStateInto(cc *cir.CC, f *fault.Fault, st []logic.Val) {
+	for i, q := range cc.FFQ {
+		st[i] = f.Observed(q, cc.FFInit[i])
 	}
 }
 
 // initialState returns the effective all-X initial state under fault f.
-func initialState(c *netlist.Circuit, f *fault.Fault) []logic.Val {
-	st := make([]logic.Val, c.NumFFs())
-	initialStateInto(c, f, st)
+func initialState(cc *cir.CC, f *fault.Fault) []logic.Val {
+	st := make([]logic.Val, cc.NumFFs())
+	initialStateInto(cc, f, st)
 	return st
 }
 
 // nextStateInto extracts the effective next state from frame values.
-func nextStateInto(c *netlist.Circuit, f *fault.Fault, vals, st []logic.Val) {
-	for i, ff := range c.FFs {
-		// vals[ff.D] is already effective; the latched value becomes the
+func nextStateInto(cc *cir.CC, f *fault.Fault, vals, st []logic.Val) {
+	for i, d := range cc.FFD {
+		// vals[d] is already effective; the latched value becomes the
 		// next present state, observed through any stem fault on Q.
-		st[i] = f.Observed(ff.Q, vals[ff.D])
+		st[i] = f.Observed(cc.FFQ[i], vals[d])
 	}
 }
 
 // nextState extracts the effective next state from frame values.
-func nextState(c *netlist.Circuit, f *fault.Fault, vals []logic.Val) []logic.Val {
-	st := make([]logic.Val, c.NumFFs())
-	nextStateInto(c, f, vals, st)
+func nextState(cc *cir.CC, f *fault.Fault, vals []logic.Val) []logic.Val {
+	st := make([]logic.Val, cc.NumFFs())
+	nextStateInto(cc, f, vals, st)
 	return st
 }
 
 // outputsInto extracts the observed primary outputs from frame values.
-func outputsInto(c *netlist.Circuit, vals, out []logic.Val) {
-	for i, id := range c.Outputs {
+func outputsInto(cc *cir.CC, vals, out []logic.Val) {
+	for i, id := range cc.Outputs {
 		out[i] = vals[id]
 	}
 }
 
 // outputsOf extracts the observed primary outputs from frame values.
-func outputsOf(c *netlist.Circuit, vals []logic.Val) []logic.Val {
-	out := make([]logic.Val, c.NumOutputs())
-	outputsInto(c, vals, out)
+func outputsOf(cc *cir.CC, vals []logic.Val) []logic.Val {
+	out := make([]logic.Val, cc.NumOutputs())
+	outputsInto(cc, vals, out)
 	return out
 }
 
@@ -252,9 +262,9 @@ func outputsOf(c *netlist.Circuit, vals []logic.Val) []logic.Val {
 // fault-free), returning the trace. keepNodes controls whether per-frame
 // node values are retained (needed by the implication engine).
 func (s *Simulator) Run(T Sequence, f *fault.Fault, keepNodes bool) (*Trace, error) {
-	c := s.c
+	cc := s.cc
 	if f == nil {
-		f = &noFault
+		f = &cir.NoFault
 	}
 	tr := &Trace{
 		States:  make([][]logic.Val, 0, len(T)+1),
@@ -263,22 +273,22 @@ func (s *Simulator) Run(T Sequence, f *fault.Fault, keepNodes bool) (*Trace, err
 	if keepNodes {
 		tr.Nodes = make([][]logic.Val, 0, len(T))
 	}
-	state := initialState(c, f)
+	state := initialState(cc, f)
 	tr.States = append(tr.States, state)
 	for u, pat := range T {
-		if len(pat) != c.NumInputs() {
+		if len(pat) != cc.NumInputs() {
 			return nil, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
-				u, len(pat), c.NumInputs())
+				u, len(pat), cc.NumInputs())
 		}
-		EvalFrame(c, pat, state, f, s.vals)
+		s.ev.EvalFrame(pat, state, f, s.vals)
 		s.stats.FullFrames++
-		tr.Outputs = append(tr.Outputs, outputsOf(c, s.vals))
+		tr.Outputs = append(tr.Outputs, outputsOf(cc, s.vals))
 		if keepNodes {
 			frame := make([]logic.Val, len(s.vals))
 			copy(frame, s.vals)
 			tr.Nodes = append(tr.Nodes, frame)
 		}
-		state = nextState(c, f, s.vals)
+		state = nextState(cc, f, s.vals)
 		tr.States = append(tr.States, state)
 	}
 	return tr, nil
@@ -331,14 +341,57 @@ func (s *Simulator) RunFaults(T Sequence, good *Trace, faults []fault.Fault) ([]
 	return results, nil
 }
 
+// prepareCone fills the active cone for f unless this is the full-pass
+// (cone-free reference) evaluator. It reports whether the cone is in use.
+func (s *Simulator) prepareCone(f *fault.Fault) bool {
+	if s.useFull {
+		return false
+	}
+	// The cone depends only on the fault site, so stuck-at-0 and
+	// stuck-at-1 of the same site (adjacent in fault lists) share it.
+	if s.coneValid && f.Node == s.coneFault.Node && f.Gate == s.coneFault.Gate {
+		return true
+	}
+	s.cone = s.cc.ConeOf(f)
+	s.coneFault, s.coneValid = *f, true
+	return true
+}
+
+// checkDetection scans frame-u outputs in s.vals against the fault-free
+// response. With an active cone only the cone's outputs are scanned —
+// outputs outside the sequential fanout closure of the fault site cannot
+// differ from the fault-free machine. Cone outputs are in ascending
+// position order, so the first detection found is the same (Time, Output)
+// the full scan would report.
+func (s *Simulator) checkDetection(good *Trace, u int, coneActive bool) (Detection, bool) {
+	g := good.Outputs[u]
+	if coneActive {
+		for _, j := range s.cone.Outs {
+			b := s.vals[s.cc.Outputs[j]]
+			if g[j].IsBinary() && b.IsBinary() && g[j] != b {
+				return Detection{Time: u, Output: int(j)}, true
+			}
+		}
+		return Detection{}, false
+	}
+	for j, id := range s.cc.Outputs {
+		b := s.vals[id]
+		if g[j].IsBinary() && b.IsBinary() && g[j] != b {
+			return Detection{Time: u, Output: j}, true
+		}
+	}
+	return Detection{}, false
+}
+
 // RunFault simulates one fault against the fault-free trace good, using
-// event-driven propagation when good retains node values. Simulation
-// stops at the first detection (the fault is dropped); the returned trace
-// is then partial and detected is true. When no detection occurs, the
-// complete faulty trace is returned; keepNodes controls whether it
-// retains per-frame node values (needed by the MOT implication engine).
+// event-driven propagation confined to the fault's active cone when good
+// retains node values. Simulation stops at the first detection (the fault
+// is dropped); the returned trace is then partial and detected is true.
+// When no detection occurs, the complete faulty trace is returned;
+// keepNodes controls whether it retains per-frame node values (needed by
+// the MOT implication engine).
 func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes bool) (tr *Trace, at Detection, detected bool, err error) {
-	c := s.c
+	cc := s.cc
 	tr = &Trace{
 		States:  make([][]logic.Val, 0, len(T)+1),
 		Outputs: make([][]logic.Val, 0, len(T)),
@@ -346,26 +399,23 @@ func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes b
 	if keepNodes {
 		tr.Nodes = make([][]logic.Val, 0, len(T))
 	}
-	tr.States = append(tr.States, initialState(c, &f))
+	coneActive := s.prepareCone(&f)
+	tr.States = append(tr.States, initialState(cc, &f))
 	for u, pat := range T {
-		if len(pat) != c.NumInputs() {
+		if len(pat) != cc.NumInputs() {
 			return nil, Detection{}, false, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
-				u, len(pat), c.NumInputs())
+				u, len(pat), cc.NumInputs())
 		}
 		s.evalFaultyFrame(pat, tr.States[u], good, u, &f)
-		tr.Outputs = append(tr.Outputs, outputsOf(c, s.vals))
+		tr.Outputs = append(tr.Outputs, outputsOf(cc, s.vals))
 		if keepNodes {
 			frame := make([]logic.Val, len(s.vals))
 			copy(frame, s.vals)
 			tr.Nodes = append(tr.Nodes, frame)
 		}
-		tr.States = append(tr.States, nextState(c, &f, s.vals))
-		g := good.Outputs[u]
-		for j, id := range c.Outputs {
-			b := s.vals[id]
-			if g[j].IsBinary() && b.IsBinary() && g[j] != b {
-				return tr, Detection{Time: u, Output: j}, true, nil
-			}
+		tr.States = append(tr.States, nextState(cc, &f, s.vals))
+		if d, ok := s.checkDetection(good, u, coneActive); ok {
+			return tr, d, true, nil
 		}
 	}
 	return tr, Detection{}, false, nil
@@ -378,7 +428,7 @@ func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes b
 // been built by NewTrace for at least len(T) frames, with node storage
 // when keepNodes is set.
 func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fault, keepNodes bool) (at Detection, detected bool, err error) {
-	c := s.c
+	cc := s.cc
 	if len(tr.allStates) < len(T)+1 || (keepNodes && len(tr.allNodes) < len(T)) {
 		return Detection{}, false, fmt.Errorf("seqsim: trace not preallocated for %d frames (keepNodes=%v)",
 			len(T), keepNodes)
@@ -389,27 +439,24 @@ func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fau
 	if keepNodes {
 		tr.Nodes = tr.allNodes[:0]
 	}
-	initialStateInto(c, &f, tr.States[0])
+	coneActive := s.prepareCone(&f)
+	initialStateInto(cc, &f, tr.States[0])
 	for u, pat := range T {
-		if len(pat) != c.NumInputs() {
+		if len(pat) != cc.NumInputs() {
 			return Detection{}, false, fmt.Errorf("seqsim: pattern %d has %d values, circuit has %d inputs",
-				u, len(pat), c.NumInputs())
+				u, len(pat), cc.NumInputs())
 		}
 		s.evalFaultyFrame(pat, tr.States[u], good, u, &f)
 		tr.Outputs = tr.allOutputs[:u+1]
-		outputsInto(c, s.vals, tr.Outputs[u])
+		outputsInto(cc, s.vals, tr.Outputs[u])
 		if keepNodes {
 			tr.Nodes = tr.allNodes[:u+1]
 			copy(tr.Nodes[u], s.vals)
 		}
 		tr.States = tr.allStates[:u+2]
-		nextStateInto(c, &f, s.vals, tr.States[u+1])
-		g := good.Outputs[u]
-		for j, id := range c.Outputs {
-			b := s.vals[id]
-			if g[j].IsBinary() && b.IsBinary() && g[j] != b {
-				return Detection{Time: u, Output: j}, true, nil
-			}
+		nextStateInto(cc, &f, s.vals, tr.States[u+1])
+		if d, ok := s.checkDetection(good, u, coneActive); ok {
+			return d, true, nil
 		}
 	}
 	return Detection{}, false, nil
@@ -417,16 +464,17 @@ func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fau
 
 // evalFaultyFrame computes the faulty frame u values into s.vals given the
 // effective faulty present state ps. With the full-pass evaluator this is
-// EvalFrame; otherwise the faulty values are derived from the fault-free
-// frame by event-driven propagation of differences (the present-state
-// differences and the fault site).
+// a full EvalFrame; otherwise the faulty values are derived from the
+// fault-free frame by event-driven propagation of differences seeded from
+// the active cone (the cone's present-state differences and the fault
+// site).
 func (s *Simulator) evalFaultyFrame(pat Pattern, ps []logic.Val, good *Trace, u int, f *fault.Fault) {
 	if s.useFull || good.Nodes == nil {
-		EvalFrame(s.c, pat, ps, f, s.vals)
+		s.ev.EvalFrame(pat, ps, f, s.vals)
 		s.stats.FullFrames++
 		return
 	}
-	s.evalFrameDelta(pat, ps, good.Nodes[u], f)
+	s.evalFrameDeltaCone(pat, ps, good.Nodes[u], f)
 }
 
 // FrameDelta computes the faulty values of one frame from a fault-free
@@ -434,61 +482,94 @@ func (s *Simulator) evalFaultyFrame(pat Pattern, ps []logic.Val, good *Trace, u 
 // propagation of the differences (the present-state differences and the
 // fault site). The returned slice is the simulator's scratch buffer,
 // valid until the next call.
+//
+// Unlike the RunFault path, FrameDelta seeds every primary input and
+// state variable: callers pass externally evolved states that may differ
+// from the baseline anywhere, so the active-cone invariant (differences
+// only inside the fault's sequential fanout closure) does not hold here.
 func (s *Simulator) FrameDelta(pat Pattern, ps []logic.Val, goodVals []logic.Val, f *fault.Fault) []logic.Val {
 	if f == nil {
-		f = &noFault
+		f = &cir.NoFault
 	}
 	s.evalFrameDelta(pat, ps, goodVals, f)
 	return s.vals
 }
 
 // evalFrameDelta computes faulty frame values by copying the fault-free
-// frame and propagating only the gates whose inputs differ. This is the
-// classic single-fault-propagation speedup: activity in a faulty frame is
-// typically confined to a small cone.
+// frame and propagating only the gates whose inputs differ, with full
+// (every input, every state variable) seeding.
 func (s *Simulator) evalFrameDelta(pat Pattern, ps []logic.Val, goodVals []logic.Val, f *fault.Fault) {
-	c := s.c
+	cc := s.cc
 	copy(s.vals, goodVals)
 	// Seed: primary inputs (stem faults there), present-state differences,
 	// the fault site itself.
-	for i, id := range c.Inputs {
+	for i, id := range cc.Inputs {
 		s.touch(id, f.Observed(id, pat[i]))
 	}
-	for i, ff := range c.FFs {
-		s.touch(ff.Q, f.Observed(ff.Q, ps[i]))
+	for i, q := range cc.FFQ {
+		s.touch(q, f.Observed(q, ps[i]))
 	}
-	if f.Node != netlist.NoNode {
-		if f.IsStem() {
-			if v, ok := f.StuckNode(f.Node); ok {
-				s.touch(f.Node, v)
-			}
-			// The driver of a stuck node must never overwrite it; it is
-			// simply never re-evaluated into the node (see below).
-		} else {
-			s.push(f.Gate)
+	s.seedFaultSite(f)
+	s.drain(f)
+}
+
+// evalFrameDeltaCone is evalFrameDelta seeded from the active cone: only
+// the cone's flip-flops can carry a faulty present-state difference, and
+// the pattern applied to the faulty machine is the one the baseline was
+// simulated with, so non-cone seeds are no-ops by construction and are
+// skipped entirely. This is the classic single-fault-propagation speedup
+// restricted further to the fault's sequential fanout closure.
+func (s *Simulator) evalFrameDeltaCone(pat Pattern, ps []logic.Val, goodVals []logic.Val, f *fault.Fault) {
+	cc := s.cc
+	copy(s.vals, goodVals)
+	for _, i := range s.cone.FFs {
+		q := cc.FFQ[i]
+		s.touch(q, f.Observed(q, ps[i]))
+	}
+	s.seedFaultSite(f)
+	s.drain(f)
+}
+
+// seedFaultSite seeds the delta worklist with the fault site: a stem
+// fault forces its node's stuck value; a branch fault re-evaluates the
+// one gate that reads the stuck pin.
+func (s *Simulator) seedFaultSite(f *fault.Fault) {
+	if f.Node == netlist.NoNode {
+		return
+	}
+	if f.IsStem() {
+		if v, ok := f.StuckNode(f.Node); ok {
+			s.touch(f.Node, v)
 		}
+		// The driver of a stuck node must never overwrite it; it is
+		// simply never re-evaluated into the node.
+	} else {
+		s.push(f.Gate)
 	}
-	for lvl := int32(1); lvl <= c.MaxLevel; lvl++ {
+}
+
+// drain evaluates the queued gates level by level, propagating changes.
+func (s *Simulator) drain(f *fault.Fault) {
+	cc := s.cc
+	for lvl := int32(1); lvl <= cc.MaxLevel; lvl++ {
 		q := s.levelQ[lvl]
 		s.levelQ[lvl] = q[:0]
 		s.stats.DeltaGateEvals += int64(len(q))
 		for _, gi := range q {
 			s.dirty[gi] = false
-			g := &c.Gates[gi]
-			v := evalGate(c, g, gi, f, s.vals)
-			s.touch(g.Out, v)
+			s.touch(cc.GOut[gi], s.ev.EvalGate(gi, f, s.vals))
 		}
 	}
 	s.stats.DeltaFrames++
 }
 
 // push enqueues a gate for delta evaluation once. A method rather than a
-// closure inside evalFrameDelta: closures capturing s would escape and
+// closure inside the drain loop: closures capturing s would escape and
 // allocate on every faulty frame.
 func (s *Simulator) push(g netlist.GateID) {
 	if !s.dirty[g] {
 		s.dirty[g] = true
-		lvl := s.c.Gates[g].Level
+		lvl := s.cc.Level[g]
 		s.levelQ[lvl] = append(s.levelQ[lvl], g)
 	}
 }
@@ -499,7 +580,8 @@ func (s *Simulator) touch(id netlist.NodeID, v logic.Val) {
 		return
 	}
 	s.vals[id] = v
-	for _, pin := range s.c.Nodes[id].Fanouts {
-		s.push(pin.Gate)
+	cc := s.cc
+	for k := cc.FanoutStart[id]; k < cc.FanoutStart[id+1]; k++ {
+		s.push(cc.FanoutGate[k])
 	}
 }
