@@ -6,12 +6,13 @@ GO ?= go
 
 # Test names covering code that runs concurrently or reuses pooled state:
 # RunParallel scheduling, the bit-parallel prescreen, the trail/pool
-# cross-checks (pools must be per-worker, never shared), and the shared
-# compiled-IR reads in internal/cir.
-RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck
-RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir
+# cross-checks (pools must be per-worker, never shared), the shared
+# compiled-IR reads in internal/cir, metric registry scrapes under
+# concurrent writers, and the serve run registry.
+RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server
+RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/metrics ./internal/serve
 
-.PHONY: build test vet race verify bench bench-collect benchdiff
+.PHONY: build test vet race verify bench bench-lite bench-collect benchdiff
 
 build:
 	$(GO) build ./...
@@ -30,6 +31,13 @@ verify: build test vet race
 # Whole-list MOT benchmarks (Table 2 circuits) with allocation stats.
 bench:
 	$(GO) test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 .
+
+# Quick sg298-only slice of the whole-list benchmarks — the CI-sized
+# regression probe. Combine with benchdiff:
+#   make bench-lite | tee benchdiff.out
+#   go run ./cmd/benchdiff -baseline BENCH_PR4.json benchdiff.out
+bench-lite:
+	$(GO) test -run xxx -bench 'Table2_sg298|LiveOverhead' -benchmem -benchtime 2x -count 3 .
 
 # Pair-collection and implication micro-benchmarks: pooled/trail path
 # against the retained allocate-per-pair reference.

@@ -384,6 +384,45 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkLiveOverhead measures the cost of live snapshot publication
+// on the sg298 whole-list workload: Config.Live set (coarse-cadence
+// shared-counter publication for /metrics scraping) against nil. The
+// acceptance bar is a live-on median within 2% of live-off.
+func BenchmarkLiveOverhead(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg298")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				var live *core.LiveStats
+				if on {
+					live = &core.LiveStats{}
+					cfg.Live = live
+				}
+				sim, err := core.NewSimulator(c, T, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.Run(faults, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if on && live.Snapshot().FaultsDone != int64(res.Total) {
+					b.Fatal("live snapshot incomplete after run")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationFrameEval compares the three conventional-simulation
 // engines: bit-parallel (63 machines per word), event-driven serial, and
 // full-pass serial.

@@ -154,10 +154,15 @@ func run(out io.Writer, in io.Reader, baselinePath string, threshold float64) (b
 		}
 		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, baseMed, gotMed, delta, mark)
 	}
+	extra := make([]string, 0, len(runs))
 	for name := range runs {
 		if _, known := base.After[name]; !known {
-			fmt.Fprintf(out, "%-28s %14s %14.0f %8s  (no baseline)\n", name, "-", median(runs[name]), "-")
+			extra = append(extra, name)
 		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(out, "%-28s %14s %14.0f %8s  (no baseline)\n", name, "-", median(runs[name]), "-")
 	}
 	if ok {
 		fmt.Fprintf(out, "no regressions beyond %g%%\n", threshold)

@@ -82,6 +82,21 @@ func TestRunWithinThreshold(t *testing.T) {
 	}
 }
 
+// TestRunNewBenchmarksSorted: benchmarks absent from the baseline are
+// listed in name order, so repeated runs produce identical reports.
+func TestRunNewBenchmarksSorted(t *testing.T) {
+	bench := sampleBench + "BenchmarkAardvark-8             	      10	   2000000 ns/op\n"
+	var out bytes.Buffer
+	if _, err := run(&out, strings.NewReader(bench), writeBaseline(t, sampleBaseline), 10); err != nil {
+		t.Fatal(err)
+	}
+	a := strings.Index(out.String(), "BenchmarkAardvark")
+	b := strings.Index(out.String(), "BenchmarkNewThing")
+	if a < 0 || b < 0 || a > b {
+		t.Errorf("new benchmarks not sorted (Aardvark@%d, NewThing@%d):\n%s", a, b, out.String())
+	}
+}
+
 // TestRunFlagsRegression: with a 1% threshold the same sample counts as
 // a regression and run returns ok=false.
 func TestRunFlagsRegression(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"repro"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/serve"
 )
 
 // runOptions collects everything the fault-simulation entry point needs;
@@ -45,6 +46,7 @@ type runOptions struct {
 	tracePath          string
 	traceTimings       bool
 	progress           bool
+	metricsAddr        string
 	prof               profiling.Options
 	out                io.Writer // summary destination; nil means os.Stdout
 }
@@ -69,6 +71,7 @@ func main() {
 	flag.StringVar(&o.tracePath, "trace", "", "write a per-fault JSONL trace to this file")
 	flag.BoolVar(&o.traceTimings, "trace-timings", false, "add per-fault stage times to the trace (nondeterministic; requires -metrics)")
 	flag.BoolVar(&o.progress, "progress", false, "print a progress line with rate and ETA to stderr")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics, /healthz and pprof on this address during the run")
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.StringVar(&o.prof.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
@@ -275,6 +278,15 @@ func run(o runOptions) error {
 		}
 		defer f.Close()
 		cfg.TraceWriter = f
+	}
+	if o.metricsAddr != "" {
+		reg, live := serve.NewRunTelemetry("motfsim")
+		cfg.Live = live
+		stop, err := serve.StartMetricsServer(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 
 	sim, err := motsim.New(c, T, cfg)

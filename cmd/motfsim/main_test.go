@@ -41,6 +41,25 @@ func TestRunMethods(t *testing.T) {
 	}
 }
 
+// TestRunMetricsAddr runs with the telemetry sidecar enabled; the run
+// must succeed and shut the sidecar down cleanly. (The exposition
+// itself is covered by the serve package tests.)
+func TestRunMetricsAddr(t *testing.T) {
+	o := opts()
+	o.metricsAddr = "127.0.0.1:0"
+	o.out = &bytes.Buffer{}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// A bad address must fail before simulating anything.
+	o = opts()
+	o.metricsAddr = "127.0.0.1:-1"
+	o.out = &bytes.Buffer{}
+	if run(o) == nil {
+		t.Error("invalid metrics address accepted")
+	}
+}
+
 func TestRunRejects(t *testing.T) {
 	mod := func(f func(*runOptions)) runOptions {
 		o := opts()

@@ -1,0 +1,98 @@
+// Command motserve runs the MOT fault simulator as a long-running HTTP
+// service: submit runs, watch them live, scrape Prometheus metrics.
+//
+//	motserve -addr :8080
+//
+// Endpoints:
+//
+//	POST   /runs              submit a run (JSON body, see serve.RunRequest)
+//	GET    /runs              list runs
+//	GET    /runs/{id}         status, stage breakdown, partial counts
+//	DELETE /runs/{id}         cancel a run
+//	GET    /runs/{id}/events  Server-Sent Events stream (progress, trace)
+//	GET    /metrics           Prometheus text exposition
+//	GET    /healthz           liveness probe
+//	GET    /debug/pprof/      runtime profiles
+//
+// Example session:
+//
+//	curl -s -X POST localhost:8080/runs -d '{"circuit":"sg298","random":96}'
+//	curl -s localhost:8080/runs/r0001
+//	curl -s localhost:8080/metrics | grep motserve_faults_done_total
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		maxRuns  = flag.Int("max-runs", 64, "maximum registered runs (finished runs stay registered)")
+		maxConc  = flag.Int("max-concurrent", max(1, runtime.NumCPU()/2), "runs executing simultaneously; further submissions queue")
+		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
+		drainFor = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxRuns, *maxConc, *logJSON, *drainFor); err != nil {
+		fmt.Fprintln(os.Stderr, "motserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxRuns, maxConc int, logJSON bool, drainFor time.Duration) error {
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	log := slog.New(handler)
+
+	s := serve.NewServer(serve.Config{
+		MaxConcurrent: maxConc,
+		MaxRuns:       maxRuns,
+		Logger:        log,
+	})
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Info("listening", "addr", addr, "max_concurrent", maxConc, "max_runs", maxRuns)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("shutting down", "drain", drainFor)
+	shutCtx, cancel := context.WithTimeout(context.Background(), drainFor)
+	defer cancel()
+	// Stop accepting connections first, then cancel and drain the runs.
+	err := httpSrv.Shutdown(shutCtx)
+	if closeErr := s.Close(shutCtx); closeErr != nil && err == nil {
+		err = closeErr
+	}
+	if errors.Is(err, http.ErrServerClosed) {
+		err = nil
+	}
+	if err == nil {
+		log.Info("shutdown complete")
+	}
+	return err
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// freeAddr reserves an ephemeral port and releases it for the server.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// TestServeSubmitAndShutdown boots the real server, submits a run,
+// waits for it, scrapes /metrics, and shuts down via SIGTERM.
+func TestServeSubmitAndShutdown(t *testing.T) {
+	addr := freeAddr(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(addr, 8, 2, true, 10*time.Second) }()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Post(base+"/runs", "application/json",
+		strings.NewReader(`{"circuit":"s27","random":16}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || st.ID == "" {
+		t.Fatalf("POST /runs = %d, id %q", resp.StatusCode, st.ID)
+	}
+
+	for {
+		resp, err := http.Get(base + "/runs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur struct {
+			Status string `json:"status"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if cur.Status == "done" {
+			break
+		}
+		if cur.Status == "failed" || cur.Status == "canceled" {
+			t.Fatalf("run ended %q", cur.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	mResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, readAll(t, mResp)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "motserve_runs_done_total 1") {
+		t.Errorf("metrics missing completed run:\n%.500s", sb.String())
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// TestRunBadAddress asserts startup errors surface instead of hanging.
+func TestRunBadAddress(t *testing.T) {
+	if err := run("127.0.0.1:-7", 1, 1, false, time.Second); err == nil {
+		t.Fatal("invalid address accepted")
+	}
+}

@@ -164,7 +164,11 @@ func runMOT(o runOptions, c *motsim.Circuit) error {
 	}
 	T := motsim.RandomSequence(c, o.randomLen, o.seed)
 	faults := motsim.CollapsedFaults(c)
-	s, err := motsim.New(c, T, motsim.DefaultConfig())
+	cfg := motsim.DefaultConfig()
+	// Publish live snapshots so the report's live section renders the
+	// same counters as the merged stats (asserted by the report tests).
+	cfg.Live = &motsim.LiveStats{}
+	s, err := motsim.New(c, T, cfg)
 	if err != nil {
 		return err
 	}

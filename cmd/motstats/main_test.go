@@ -87,6 +87,7 @@ func TestRunMOTBreakdown(t *testing.T) {
 		"implication calls",
 		"pairs/fault",
 		"fault time",
+		"live snapshot (1/1 runs",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-mot output missing %q:\n%s", want, out)

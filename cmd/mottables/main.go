@@ -29,6 +29,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/serve"
 )
 
 // usageError marks invalid flag values; main reports them with exit
@@ -51,6 +52,7 @@ type runOptions struct {
 	hitecCircuit string
 	workers      int
 	prescreen    bool
+	metricsAddr  string
 	prof         profiling.Options
 
 	out  io.Writer // table output (nil: os.Stdout)
@@ -70,6 +72,7 @@ func main() {
 	flag.StringVar(&o.hitecCircuit, "hitec-circuit", "sg5378", "suite circuit for the deterministic-sequence experiment")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
 	flag.BoolVar(&o.prescreen, "prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics, /healthz and pprof on this address during the suite run")
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.StringVar(&o.prof.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
@@ -161,6 +164,15 @@ func run(o runOptions) error {
 		SkipBaselineScaled: o.skipNA,
 		Workers:            o.workers,
 		DisablePrescreen:   !o.prescreen,
+	}
+	if o.metricsAddr != "" {
+		reg, live := serve.NewRunTelemetry("mottables")
+		opts.Live = live
+		stop, err := serve.StartMetricsServer(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer stop()
 	}
 	if o.verbose {
 		last := ""

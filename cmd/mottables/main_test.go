@@ -79,6 +79,21 @@ func TestRunTable2(t *testing.T) {
 	}
 }
 
+// TestRunMetricsAddr runs one table with the telemetry sidecar bound to
+// an ephemeral port; the run must succeed and shut it down cleanly.
+func TestRunMetricsAddr(t *testing.T) {
+	o := baseOpts("2")
+	o.metricsAddr = "127.0.0.1:0"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	o = baseOpts("2")
+	o.metricsAddr = "127.0.0.1:-1"
+	if run(o) == nil {
+		t.Error("invalid metrics address accepted")
+	}
+}
+
 func TestRunTable3CSV(t *testing.T) {
 	out := tables(t, "3", true, 2, true)
 	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "sg208") {

@@ -119,6 +119,19 @@ type Config struct {
 	// deterministic across runs; leave this off when traces are diffed.
 	// Requires Metrics.
 	TraceTimings bool
+	// Live, when non-nil, receives coarse-cadence snapshots of the run
+	// while it executes: every worker folds its pending per-fault deltas
+	// into the shared LiveStats every LiveEvery faults, so an HTTP
+	// scraper (cmd/motserve, the batch CLIs' -metrics-addr) can watch an
+	// in-flight run without adding atomics to the per-fault hot path.
+	// The stage-time and frame-counter fields additionally require
+	// Metrics; the detection counters work either way. Multiple runs may
+	// share one LiveStats, aggregating their counters.
+	Live *LiveStats
+	// LiveEvery is the publication cadence in faults (per worker); zero
+	// selects the default (32). Smaller values make /metrics fresher at
+	// the cost of more shared-counter traffic. Ignored when Live is nil.
+	LiveEvery int
 }
 
 // DefaultConfig returns the configuration used in the paper's experiments:
@@ -160,6 +173,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: MaxPairs must be non-negative, got %d", cfg.MaxPairs)
 	case cfg.TraceTimings && !cfg.Metrics:
 		return fmt.Errorf("core: TraceTimings requires Metrics")
+	case cfg.LiveEvery < 0:
+		return fmt.Errorf("core: LiveEvery must be non-negative, got %d", cfg.LiveEvery)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -823,6 +824,11 @@ type Result struct {
 	// sequences at stop, per-fault wall time); nil when Config.Metrics
 	// is off.
 	Metrics *RunMetrics
+	// Live is the shared live-snapshot sink this run published into
+	// (Config.Live); nil when live stats were off. After the run
+	// returns, its snapshot's scheduling-invariant counters equal the
+	// merged Result/Stages values of every run published into it.
+	Live *LiveStats
 }
 
 // Stages holds per-stage counters and wall-clock timings of a
@@ -902,21 +908,40 @@ func (r *Result) AvgCounters() (det, conf, extra float64) {
 // only the surviving faults run the per-fault pipeline; outcomes are
 // identical either way.
 func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*Result, error) {
+	return s.RunContext(context.Background(), faults, progress)
+}
+
+// RunContext is Run with cancellation: the fault loop checks ctx before
+// each fault and returns ctx.Err() once it is done or canceled. The
+// prescreen stage runs to completion before the first check (its
+// bit-parallel batches are short relative to the per-fault pipeline).
+func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progress func(done, total int)) (*Result, error) {
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
 	res.Stages.CompileTime = s.compile
+	res.Live = s.cfg.Live
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
 	s.beginRun(res)
+	s.beginLive(len(faults))
+	defer s.cfg.Live.endLive()
 	pre, err := s.prescreen(faults, 1, res)
 	if err != nil {
 		return nil, err
 	}
+	s.publishPrescreen(res, false)
+	live := s.newLivePublisher()
 	traceTimes := s.traceTimes(len(faults))
 	motStart := time.Now()
 	for k, f := range faults {
+		if err := ctx.Err(); err != nil {
+			live.flush(s)
+			return nil, err
+		}
 		var o FaultOutcome
+		entered := false
 		if pre != nil && pre[k].Detected {
 			o = FaultOutcome{Fault: f, Outcome: DetectedConventional, At: pre[k].At}
 		} else {
+			entered = true
 			if o, err = s.SimulateFault(f); err != nil {
 				return nil, fmt.Errorf("core: fault %s: %w", f.Name(s.c), err)
 			}
@@ -924,11 +949,13 @@ func (s *Simulator) Run(faults []fault.Fault, progress func(done, total int)) (*
 				traceTimes[k] = s.lastStages
 			}
 		}
+		live.observe(s, &o, entered)
 		res.tally(o)
 		if progress != nil {
 			progress(k+1, len(faults))
 		}
 	}
+	live.flush(s)
 	res.Stages.MOTTime = time.Since(motStart)
 	res.Stages.mergeStats(s.stats)
 	if s.cfg.Metrics {
@@ -969,17 +996,28 @@ func (r *Result) tally(o FaultOutcome) {
 // conventional stage runs first (its batches spread over the same
 // worker count) and only surviving faults are handed to the pool.
 func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func(done, total int)) (*Result, error) {
+	return s.RunParallelContext(context.Background(), faults, workers, progress)
+}
+
+// RunParallelContext is RunParallel with cancellation: workers stop
+// claiming faults once ctx is done and the run returns ctx.Err(). The
+// prescreen stage runs to completion before the first check.
+func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault, workers int, progress func(done, total int)) (*Result, error) {
 	if workers < 2 || len(faults) < 2 {
-		return s.Run(faults, progress)
+		return s.RunContext(ctx, faults, progress)
 	}
 	res := &Result{Circuit: s.c.Name, Total: len(faults)}
 	res.Stages.CompileTime = s.compile
+	res.Live = s.cfg.Live
 	res.Outcomes = make([]FaultOutcome, 0, len(faults))
 	s.beginRun(res)
+	s.beginLive(len(faults))
+	defer s.cfg.Live.endLive()
 	pre, err := s.prescreen(faults, workers, res)
 	if err != nil {
 		return nil, err
 	}
+	s.publishPrescreen(res, true)
 	traceTimes := s.traceTimes(len(faults))
 	motStart := time.Now()
 	outcomes := make([]FaultOutcome, len(faults))
@@ -1032,9 +1070,17 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 		go func(w int) {
 			defer wg.Done()
 			worker := workerSims[w]
+			live := worker.newLivePublisher()
+			defer live.flush(worker)
 			for {
 				t := int(atomic.AddInt64(&nextIdx, 1))
 				if t >= len(todo) || failed.Load() {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					atomic.StoreInt64(&nextIdx, int64(len(todo)))
 					return
 				}
 				k := todo[t]
@@ -1048,6 +1094,7 @@ func (s *Simulator) RunParallel(faults []fault.Fault, workers int, progress func
 					atomic.StoreInt64(&nextIdx, int64(len(todo)))
 					return
 				}
+				live.observe(worker, &o, true)
 				outcomes[k] = o
 				if traceTimes != nil {
 					// Distinct index per fault: no write races between workers.

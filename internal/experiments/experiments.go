@@ -47,6 +47,10 @@ type Options struct {
 	DisablePrescreen bool
 	// Progress, when non-nil, receives per-fault progress.
 	Progress func(circuit string, done, total int)
+	// Live, when non-nil, receives coarse-cadence live snapshots from
+	// every run of the experiment (all circuits and procedures publish
+	// into the one LiveStats), for -metrics-addr exposition.
+	Live *core.LiveStats
 }
 
 // configs derives the proposed and baseline configurations.
@@ -61,6 +65,8 @@ func (o Options) configs() (core.Config, core.Config) {
 		p.Prescreen = false
 		b.Prescreen = false
 	}
+	p.Live = o.Live
+	b.Live = o.Live
 	return p, b
 }
 

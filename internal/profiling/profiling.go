@@ -6,6 +6,8 @@ package profiling
 
 import (
 	"fmt"
+	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -109,4 +111,16 @@ func (s *Session) Stop() error {
 		s.opts.MemProfile = ""
 	}
 	return first
+}
+
+// RegisterHTTP attaches the net/http/pprof handlers to mux under
+// /debug/pprof/ without relying on the package's DefaultServeMux side
+// effects — the live-profiling counterpart of the file-based Session,
+// used by cmd/motserve and the batch CLIs' -metrics-addr sidecar.
+func RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 }

@@ -186,5 +186,51 @@ func FormatRunStats(res *core.Result) string {
 		fmt.Fprintf(&sb, "  cone gates/fault: %s\n", m.ConeGatesPerFault.Snapshot())
 		fmt.Fprintf(&sb, "  fault time:       %s\n", m.FaultTimeNS.Snapshot().DurationString())
 	}
+	if res.Live != nil {
+		fmt.Fprint(&sb, FormatLiveSnapshot(res.Live.Snapshot()))
+	}
 	return sb.String()
+}
+
+// FormatLiveSnapshot renders a live snapshot in the FormatRunStats
+// idiom. After a run completes the counter lines render exactly the
+// merged Result/Stages values (the stage-seconds line is a wall-clock
+// measurement and the implication estimate is computed globally rather
+// than per worker, so those may differ from the Stages durations).
+func FormatLiveSnapshot(s core.LiveSnapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "  live snapshot (%d/%d runs, %d/%d faults):\n",
+		s.RunsDone, s.RunsStarted, s.FaultsDone, s.FaultsTotal)
+	fmt.Fprintf(&sb, "    detected: %d conventional + %d MOT, %d undetected (%d pruned by condition C)\n",
+		s.Conv, s.MOT, s.Undetected(), s.PrunedConditionC)
+	fmt.Fprintf(&sb, "    prescreen: %d passes dropped %d faults (%d frames)\n",
+		s.PrescreenPasses, s.PrescreenDropped, s.PrescreenFrames)
+	fmt.Fprintf(&sb, "    pipeline: %d faults, %d pairs, %d expansions, %d sequences, %d implication calls\n",
+		s.MOTFaults, s.Pairs, s.Expansions, s.Sequences, s.ImplyCalls)
+	fmt.Fprintf(&sb, "    serial sim frames: %d delta (%d gate evals), %d full\n",
+		s.DeltaFrames, s.DeltaGateEvals, s.FullFrames)
+	fmt.Fprintf(&sb, "    stage seconds: step0=%.3f collect=%.3f (imply~%.3f) expand=%.3f resim=%.3f total=%.3f\n",
+		float64(s.Step0NS)/1e9, float64(s.CollectNS)/1e9, float64(s.ImplyNS)/1e9,
+		float64(s.ExpandNS)/1e9, float64(s.ResimNS)/1e9, float64(s.TotalNS)/1e9)
+	return sb.String()
+}
+
+// ResultAttrs returns slog key-value pairs summarizing a run result,
+// for structured run-completion logs (cmd/motserve threads these
+// through its per-run logger).
+func ResultAttrs(res *core.Result) []any {
+	coverage := 0.0
+	if res.Total > 0 {
+		coverage = float64(res.Detected()) / float64(res.Total)
+	}
+	return []any{
+		"circuit", res.Circuit,
+		"faults", res.Total,
+		"conv", res.Conv,
+		"mot", res.MOT,
+		"coverage", coverage,
+		"pruned_c", res.PrunedConditionC,
+		"mot_faults", res.Stages.MOTFaults,
+		"imply_calls", res.Stages.ImplyCalls,
+	}
 }

@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -82,6 +83,91 @@ func TestFormatRunStats(t *testing.T) {
 	}
 	if off := FormatRunStats(smallRun(t, false)); off != "" {
 		t.Errorf("metrics-off stats not empty:\n%s", off)
+	}
+}
+
+// liveRun executes one sg208 whole-list run publishing live snapshots.
+func liveRun(t *testing.T, workers int) *core.Result {
+	t.Helper()
+	c, err := circuits.ByName("sg208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := tgen.Random(c.NumInputs(), 24, 1)
+	cfg := core.DefaultConfig()
+	cfg.Live = &core.LiveStats{}
+	s, err := core.NewSimulator(c, T, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunParallel(fault.CollapsedList(c), workers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// stripTimeLines removes the wall-clock "stage seconds" line, leaving
+// only the deterministic counter lines.
+func stripTimeLines(s string) string {
+	var keep []string
+	for _, line := range strings.Split(s, "\n") {
+		if !strings.Contains(line, "stage seconds:") {
+			keep = append(keep, line)
+		}
+	}
+	return strings.Join(keep, "\n")
+}
+
+// TestFormatLiveSnapshotMatchesMergedStats asserts the live-snapshot
+// section renders the same counters as the final merged result — and
+// renders identically between a serial and an 8-worker run.
+func TestFormatLiveSnapshotMatchesMergedStats(t *testing.T) {
+	resS := liveRun(t, 1)
+	resP := liveRun(t, 8)
+	outS := FormatLiveSnapshot(resS.Live.Snapshot())
+	outP := FormatLiveSnapshot(resP.Live.Snapshot())
+	if s, p := stripTimeLines(outS), stripTimeLines(outP); s != p {
+		t.Errorf("live section differs between 1 and 8 workers:\n%s\n---\n%s", s, p)
+	}
+	// The rendered counters are the merged result's values.
+	res := resP
+	for _, want := range []string{
+		fmt.Sprintf("1/1 runs, %d/%d faults", res.Total, res.Total),
+		fmt.Sprintf("detected: %d conventional + %d MOT, %d undetected (%d pruned by condition C)",
+			res.Conv, res.MOT, res.Total-res.Detected(), res.PrunedConditionC),
+		fmt.Sprintf("prescreen: %d passes dropped %d faults (%d frames)",
+			res.Stages.PrescreenPasses, res.Stages.PrescreenDropped, res.Stages.PrescreenFrames),
+		fmt.Sprintf("pipeline: %d faults, %d pairs, %d expansions, %d sequences, %d implication calls",
+			res.Stages.MOTFaults, res.Pairs, res.Expansions, res.Sequences, res.Stages.ImplyCalls),
+		fmt.Sprintf("serial sim frames: %d delta (%d gate evals), %d full",
+			res.Stages.Sim.DeltaFrames, res.Stages.Sim.DeltaGateEvals, res.Stages.Sim.FullFrames),
+	} {
+		if !strings.Contains(outP, want) {
+			t.Errorf("live section missing %q:\n%s", want, outP)
+		}
+	}
+	// FormatRunStats embeds the section when the run published live.
+	if !strings.Contains(FormatRunStats(res), "live snapshot (") {
+		t.Error("FormatRunStats omitted the live section")
+	}
+	if strings.Contains(FormatRunStats(smallRun(t, true)), "live snapshot (") {
+		t.Error("FormatRunStats rendered a live section without Config.Live")
+	}
+}
+
+func TestResultAttrs(t *testing.T) {
+	res := smallRun(t, true)
+	attrs := ResultAttrs(res)
+	if len(attrs)%2 != 0 {
+		t.Fatalf("attrs not key-value pairs: %v", attrs)
+	}
+	got := map[string]any{}
+	for i := 0; i < len(attrs); i += 2 {
+		got[attrs[i].(string)] = attrs[i+1]
+	}
+	if got["circuit"] != res.Circuit || got["faults"] != res.Total || got["conv"] != res.Conv {
+		t.Errorf("ResultAttrs = %v", got)
 	}
 }
 

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+)
+
+// Event is one entry of a run's event stream: an SSE event name plus a
+// single-line JSON payload.
+type Event struct {
+	Name string
+	Data string
+}
+
+// eventLog is an append-only broadcast log. Appends are cheap; readers
+// replay from any index and block on a notification channel that is
+// closed (and replaced) on every append, so each subscriber wakes
+// exactly when new events or the end of the stream arrive.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+	closed bool
+	notify chan struct{}
+}
+
+func newEventLog() *eventLog {
+	return &eventLog{notify: make(chan struct{})}
+}
+
+// append adds one event and wakes all waiting subscribers. Events
+// appended after close are dropped.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.events = append(l.events, e)
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// close marks the stream complete and wakes all subscribers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return
+	}
+	l.closed = true
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// next returns the events from index from onward, whether the stream is
+// complete, and a channel that is closed on the next append or close.
+// Callers consume the returned slice before waiting again; the log is
+// append-only so the slice stays valid.
+func (l *eventLog) next(from int) (events []Event, done bool, wake <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from < len(l.events) {
+		events = l.events[from:]
+	}
+	return events, l.closed, l.notify
+}
+
+// len returns the number of events appended so far.
+func (l *eventLog) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// lineWriter adapts an io.Writer sink for core.Config.TraceWriter: each
+// complete JSONL line becomes one event with the given name. The core
+// trace writer emits whole lines after the run completes, but partial
+// writes are buffered correctly regardless.
+type lineWriter struct {
+	log  *eventLog
+	name string
+	buf  bytes.Buffer
+}
+
+func (w *lineWriter) Write(p []byte) (int, error) {
+	w.buf.Write(p)
+	for {
+		line, err := w.buf.ReadString('\n')
+		if err != nil {
+			// Partial line: keep it buffered for the next write.
+			w.buf.WriteString(line)
+			break
+		}
+		if s := strings.TrimRight(line, "\n"); s != "" {
+			w.log.append(Event{Name: w.name, Data: s})
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,327 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/fault"
+	"repro/internal/netlist"
+	"repro/internal/report"
+	"repro/internal/seqsim"
+	"repro/internal/tgen"
+	"repro/internal/vectors"
+)
+
+// RunRequest is the body of POST /runs. Exactly one circuit source is
+// required (a built-in name or an inline .bench netlist); the test
+// sequence comes from inline vector text or seeded random generation
+// (default: 64 random patterns, seed 1). The method names match the
+// motfsim -method flag.
+type RunRequest struct {
+	// Circuit names a built-in circuit (s27, sg298, ...); Bench carries
+	// an inline ISCAS-89 .bench netlist instead.
+	Circuit string `json:"circuit,omitempty"`
+	Bench   string `json:"bench,omitempty"`
+	// Vectors is inline test-sequence text (one pattern per line);
+	// Random generates a random sequence of that length with Seed.
+	Vectors string `json:"vectors,omitempty"`
+	Random  int    `json:"random,omitempty"`
+	Seed    int64  `json:"seed,omitempty"`
+	// Method is proposed (default), baseline, or lowcomplexity.
+	Method string `json:"method,omitempty"`
+	// NStates overrides the expansion budget (default 64).
+	NStates int `json:"nstates,omitempty"`
+	// Workers bounds the fault-simulation goroutines (default NumCPU).
+	Workers int `json:"workers,omitempty"`
+	// Prescreen and Metrics default to on; send false to disable.
+	Prescreen *bool `json:"prescreen,omitempty"`
+	Metrics   *bool `json:"metrics,omitempty"`
+	// FullFaults selects the uncollapsed fault list.
+	FullFaults bool `json:"full_faults,omitempty"`
+	// Trace streams the per-fault JSONL trace on the run's event feed.
+	Trace bool `json:"trace,omitempty"`
+	// LiveEvery overrides the live-snapshot publication cadence.
+	LiveEvery int `json:"live_every,omitempty"`
+}
+
+// Run statuses, in lifecycle order.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+// Run is one registered simulation run. The immutable inputs are built
+// at submission time (so request errors surface on POST, not later);
+// the mutable lifecycle state lives behind mu.
+type Run struct {
+	ID      string
+	Req     RunRequest
+	Created time.Time
+
+	circuit *netlist.Circuit
+	seq     seqsim.Sequence
+	faults  []fault.Fault
+	cfg     core.Config
+	method  string
+	workers int
+
+	live   *core.LiveStats
+	events *eventLog
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	status   string
+	started  time.Time
+	finished time.Time
+	result   *core.Result
+	runErr   error
+}
+
+// RunStatus is the JSON view of a run returned by GET /runs/{id}.
+type RunStatus struct {
+	ID       string `json:"id"`
+	Circuit  string `json:"circuit"`
+	Method   string `json:"method"`
+	Status   string `json:"status"`
+	Workers  int    `json:"workers"`
+	Patterns int    `json:"patterns"`
+	Faults   int    `json:"faults"`
+
+	CreatedAt  time.Time  `json:"created_at"`
+	StartedAt  *time.Time `json:"started_at,omitempty"`
+	FinishedAt *time.Time `json:"finished_at,omitempty"`
+
+	// Live is the current (mid-run) or final snapshot of the run's
+	// counters; see core.LiveSnapshot for field semantics.
+	Live core.LiveSnapshot `json:"live"`
+	// Report is the full run summary, present once the run is done.
+	Report *report.RunReport `json:"report,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// buildRun validates a request and compiles everything the run needs.
+func buildRun(id string, req RunRequest, now time.Time) (*Run, error) {
+	var c *netlist.Circuit
+	var err error
+	switch {
+	case req.Circuit != "" && req.Bench != "":
+		return nil, fmt.Errorf("request sets both circuit and bench")
+	case req.Circuit != "":
+		if c, err = circuits.ByName(req.Circuit); err != nil {
+			return nil, err
+		}
+	case req.Bench != "":
+		if c, err = bench.ParseString("request.bench", req.Bench); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("request needs a circuit name or an inline bench netlist")
+	}
+
+	var T seqsim.Sequence
+	switch {
+	case req.Vectors != "" && req.Random > 0:
+		return nil, fmt.Errorf("request sets both vectors and random")
+	case req.Vectors != "":
+		if T, err = vectors.Read(strings.NewReader(req.Vectors)); err != nil {
+			return nil, err
+		}
+		if len(T) > 0 && len(T[0]) != c.NumInputs() {
+			return nil, fmt.Errorf("vectors have %d inputs, circuit %s has %d",
+				len(T[0]), c.Name, c.NumInputs())
+		}
+	default:
+		n, seed := req.Random, req.Seed
+		if n <= 0 {
+			n = 64
+		}
+		if seed == 0 {
+			seed = 1
+		}
+		T = tgen.Random(c.NumInputs(), n, seed)
+	}
+
+	method := req.Method
+	if method == "" {
+		method = "proposed"
+	}
+	var cfg core.Config
+	switch method {
+	case "proposed":
+		cfg = core.DefaultConfig()
+	case "baseline":
+		cfg = core.BaselineConfig()
+	case "lowcomplexity":
+		cfg = core.DefaultConfig()
+		cfg.IdentificationOnly = true
+	default:
+		return nil, fmt.Errorf("unknown method %q (want proposed, baseline, or lowcomplexity)", method)
+	}
+	if req.NStates > 0 {
+		cfg.NStates = req.NStates
+	}
+	if req.Prescreen != nil {
+		cfg.Prescreen = *req.Prescreen
+	}
+	if req.Metrics != nil {
+		cfg.Metrics = *req.Metrics
+	}
+	if req.LiveEvery < 0 {
+		return nil, fmt.Errorf("live_every must be non-negative")
+	}
+	cfg.LiveEvery = req.LiveEvery
+
+	workers := req.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+
+	faults := fault.CollapsedList(c)
+	if req.FullFaults {
+		faults = fault.List(c)
+	}
+
+	r := &Run{
+		ID:      id,
+		Req:     req,
+		Created: now,
+		circuit: c,
+		seq:     T,
+		faults:  faults,
+		cfg:     cfg,
+		method:  method,
+		workers: workers,
+		live:    &core.LiveStats{},
+		events:  newEventLog(),
+		status:  StatusQueued,
+	}
+	r.cfg.Live = r.live
+	if req.Trace {
+		r.cfg.TraceWriter = &lineWriter{log: r.events, name: "trace"}
+	}
+	return r, nil
+}
+
+// Status snapshots the run for the API.
+func (r *Run) Status() RunStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := RunStatus{
+		ID:        r.ID,
+		Circuit:   r.circuit.Name,
+		Method:    r.method,
+		Status:    r.status,
+		Workers:   r.workers,
+		Patterns:  len(r.seq),
+		Faults:    len(r.faults),
+		CreatedAt: r.Created,
+		Live:      r.live.Snapshot(),
+	}
+	if !r.started.IsZero() {
+		t := r.started
+		st.StartedAt = &t
+	}
+	if !r.finished.IsZero() {
+		t := r.finished
+		st.FinishedAt = &t
+	}
+	if r.result != nil {
+		rep := report.NewRunReport(r.result, r.method, len(r.seq), r.workers, r.finished.Sub(r.started))
+		st.Report = &rep
+	}
+	if r.runErr != nil {
+		st.Error = r.runErr.Error()
+	}
+	return st
+}
+
+// progressEvery is the cadence of the progress events on a run's event
+// stream while it executes.
+const progressEvery = 200 * time.Millisecond
+
+// execute runs the simulation to completion, feeding the event stream.
+// It is called on its own goroutine with the slot already acquired.
+func (r *Run) execute(ctx context.Context) {
+	r.mu.Lock()
+	r.status = StatusRunning
+	r.started = time.Now()
+	r.mu.Unlock()
+	r.event("status", map[string]any{"status": StatusRunning})
+
+	// Progress feed: one event per tick while the counters move.
+	stop := make(chan struct{})
+	var tickWG sync.WaitGroup
+	tickWG.Add(1)
+	go func() {
+		defer tickWG.Done()
+		tick := time.NewTicker(progressEvery)
+		defer tick.Stop()
+		var last core.LiveSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if s := r.live.Snapshot(); s != last {
+					last = s
+					r.event("progress", s)
+				}
+			}
+		}
+	}()
+
+	sim, err := core.NewSimulator(r.circuit, r.seq, r.cfg)
+	var res *core.Result
+	if err == nil {
+		res, err = sim.RunParallelContext(ctx, r.faults, r.workers, nil)
+	}
+	close(stop)
+	tickWG.Wait()
+
+	r.mu.Lock()
+	r.finished = time.Now()
+	switch {
+	case err == nil:
+		r.status = StatusDone
+		r.result = res
+	case errors.Is(err, context.Canceled):
+		r.status = StatusCanceled
+		r.runErr = err
+	default:
+		r.status = StatusFailed
+		r.runErr = err
+	}
+	status := r.status
+	r.mu.Unlock()
+
+	// Final snapshot (equal to the merged result counters), then the
+	// terminal status, then end of stream.
+	r.event("progress", r.live.Snapshot())
+	fin := map[string]any{"status": status}
+	if err != nil {
+		fin["error"] = err.Error()
+	}
+	r.event("status", fin)
+	r.events.close()
+}
+
+// event marshals payload and appends it to the run's stream.
+func (r *Run) event(name string, payload any) {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	r.events.append(Event{Name: name, Data: string(b)})
+}

@@ -1,0 +1,394 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/profiling"
+	"repro/internal/report"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxConcurrent bounds simultaneously executing runs; further
+	// submissions queue. Zero means 1.
+	MaxConcurrent int
+	// MaxRuns caps the registry size (runs are retained after finishing
+	// so their counters stay scrapeable); submissions beyond the cap are
+	// rejected with 503. Zero means 64.
+	MaxRuns int
+	// Prefix is the metric-name prefix, default "motserve".
+	Prefix string
+	// Logger receives structured request/run logs; default slog.Default.
+	Logger *slog.Logger
+}
+
+// Server is the run registry plus its HTTP surface. Create with
+// NewServer, mount Handler, and stop with Close.
+type Server struct {
+	cfg Config
+	log *slog.Logger
+	reg *metrics.Registry
+
+	sem chan struct{} // execution slots
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	order  []string // creation order, for GET /runs
+	nextID int
+	closed bool
+	wg     sync.WaitGroup
+
+	httpRequests *metrics.Counter
+}
+
+// NewServer builds a server and registers its metrics: every core
+// live-snapshot counter summed across all registered runs (monotonic —
+// runs are never removed, only canceled), the per-fault histograms of
+// the most recently started run, and server-level gauges.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 1
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 64
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "motserve"
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	s := &Server{
+		cfg:  cfg,
+		log:  cfg.Logger,
+		reg:  metrics.NewRegistry(),
+		sem:  make(chan struct{}, cfg.MaxConcurrent),
+		runs: make(map[string]*Run),
+	}
+	RegisterLiveCounters(s.reg, cfg.Prefix, s.liveSnapshot)
+	RegisterLiveHistograms(s.reg, cfg.Prefix, s.latestMetrics)
+	s.reg.GaugeFunc(cfg.Prefix+"_runs_active", "Runs currently executing.", func() float64 {
+		return float64(s.countStatus(StatusRunning))
+	})
+	s.reg.GaugeFunc(cfg.Prefix+"_runs_queued", "Runs waiting for an execution slot.", func() float64 {
+		return float64(s.countStatus(StatusQueued))
+	})
+	s.httpRequests = s.reg.Counter(cfg.Prefix+"_http_requests_total", "HTTP requests served.")
+	return s
+}
+
+// Registry exposes the server's metric registry (for tests and for
+// embedding extra metrics).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// liveSnapshot sums the per-run snapshots. Each run's snapshot is
+// monotonic and runs are never removed from the registry, so every
+// summed field is monotonic too — sound to scrape as counters.
+func (s *Server) liveSnapshot() core.LiveSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var sum core.LiveSnapshot
+	for _, r := range s.runs {
+		sum = addSnapshots(sum, r.live.Snapshot())
+	}
+	return sum
+}
+
+// addSnapshots field-wise adds two snapshots.
+func addSnapshots(a, b core.LiveSnapshot) core.LiveSnapshot {
+	a.RunsStarted += b.RunsStarted
+	a.RunsDone += b.RunsDone
+	a.FaultsTotal += b.FaultsTotal
+	a.FaultsDone += b.FaultsDone
+	a.Conv += b.Conv
+	a.MOT += b.MOT
+	a.PrunedConditionC += b.PrunedConditionC
+	a.PrescreenPasses += b.PrescreenPasses
+	a.PrescreenDropped += b.PrescreenDropped
+	a.PrescreenFrames += b.PrescreenFrames
+	a.MOTFaults += b.MOTFaults
+	a.Pairs += b.Pairs
+	a.Expansions += b.Expansions
+	a.Sequences += b.Sequences
+	a.ImplyCalls += b.ImplyCalls
+	a.ImplyNS += b.ImplyNS
+	a.Step0NS += b.Step0NS
+	a.CollectNS += b.CollectNS
+	a.ExpandNS += b.ExpandNS
+	a.ResimNS += b.ResimNS
+	a.TotalNS += b.TotalNS
+	a.DeltaFrames += b.DeltaFrames
+	a.DeltaGateEvals += b.DeltaGateEvals
+	a.FullFrames += b.FullFrames
+	return a
+}
+
+// latestMetrics returns the per-fault histograms of the most recently
+// created run that has any (nil before the first metrics-enabled run) —
+// the histogram source for the exposition. Unlike the counters these
+// are per-run distributions, so the newest run wins rather than a sum.
+func (s *Server) latestMetrics() *core.RunMetrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := len(s.order) - 1; i >= 0; i-- {
+		if m := s.runs[s.order[i]].live.Metrics(); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// countStatus counts registered runs in the given status.
+func (s *Server) countStatus(status string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, r := range s.runs {
+		r.mu.Lock()
+		if r.status == status {
+			n++
+		}
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// Handler returns the server's full HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /runs", s.handleCreate)
+	mux.HandleFunc("GET /runs", s.handleList)
+	mux.HandleFunc("GET /runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
+	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	profiling.RegisterHTTP(mux)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.httpRequests.Inc()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// handleCreate is POST /runs: validate, compile, register, and start
+// the run (queued until an execution slot frees up). Responds 202 with
+// the initial status.
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		return
+	}
+	if len(s.runs) >= s.cfg.MaxRuns {
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("run registry full (%d runs)", s.cfg.MaxRuns))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("r%04d", s.nextID)
+	s.mu.Unlock()
+
+	run, err := buildRun(id, req, time.Now())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	run.cancel = cancel
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		cancel()
+		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
+		return
+	}
+	s.runs[id] = run
+	s.order = append(s.order, id)
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	s.log.Info("run submitted", "run", id,
+		"circuit", run.circuit.Name, "method", run.method,
+		"faults", len(run.faults), "patterns", len(run.seq), "workers", run.workers)
+
+	go func() {
+		defer s.wg.Done()
+		defer cancel()
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			// Canceled while queued.
+			run.mu.Lock()
+			run.status = StatusCanceled
+			run.finished = time.Now()
+			run.runErr = ctx.Err()
+			run.mu.Unlock()
+			run.event("status", map[string]any{"status": StatusCanceled})
+			run.events.close()
+			s.log.Info("run canceled while queued", "run", id)
+			return
+		}
+		run.execute(ctx)
+		st := run.Status()
+		attrs := []any{"run", id, "status", st.Status,
+			"elapsed", st.FinishedAt.Sub(*st.StartedAt).Round(time.Millisecond)}
+		if st.Status == StatusDone {
+			attrs = append(attrs, report.ResultAttrs(run.result)...)
+			s.log.Info("run finished", attrs...)
+		} else {
+			attrs = append(attrs, "error", st.Error)
+			s.log.Warn("run finished", attrs...)
+		}
+	}()
+
+	writeJSON(w, http.StatusAccepted, run.Status())
+}
+
+// handleList is GET /runs: all runs in creation order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	runs := make([]*Run, 0, len(s.order))
+	for _, id := range s.order {
+		runs = append(runs, s.runs[id])
+	}
+	s.mu.Unlock()
+	out := make([]RunStatus, len(runs))
+	for i, run := range runs {
+		out[i] = run.Status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"runs": out})
+}
+
+// lookup fetches a run by the {id} path value, or writes 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *Run {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run := s.runs[id]
+	s.mu.Unlock()
+	if run == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no run %q", id))
+	}
+	return run
+}
+
+// handleGet is GET /runs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if run := s.lookup(w, r); run != nil {
+		writeJSON(w, http.StatusOK, run.Status())
+	}
+}
+
+// handleDelete is DELETE /runs/{id}: cancel the run. The run stays
+// registered (status canceled) so the aggregate counters stay
+// monotonic; deleting a finished run is a no-op cancel.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	run.cancel()
+	s.log.Info("run cancel requested", "run", run.ID)
+	writeJSON(w, http.StatusOK, run.Status())
+}
+
+// handleEvents is GET /runs/{id}/events: a Server-Sent Events stream
+// replaying the run's full event log and following it until the run
+// completes or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run := s.lookup(w, r)
+	if run == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("response writer cannot stream"))
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	idx := 0
+	for {
+		events, done, wake := run.events.next(idx)
+		for _, e := range events {
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Name, e.Data)
+		}
+		idx += len(events)
+		fl.Flush()
+		if done {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-wake:
+		}
+	}
+}
+
+// Close cancels every run and waits (bounded by ctx) for the run
+// goroutines to drain. Further submissions are rejected.
+func (s *Server) Close(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	runs := make([]*Run, 0, len(s.runs))
+	for _, r := range s.runs {
+		runs = append(runs, r)
+	}
+	s.mu.Unlock()
+	for _, r := range runs {
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown timed out: %w", ctx.Err())
+	}
+}
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// httpError writes a JSON error body.
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

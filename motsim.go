@@ -88,6 +88,11 @@ type (
 	// TraceEvent is one per-fault record of the JSONL trace stream
 	// written to Config.TraceWriter.
 	TraceEvent = core.TraceEvent
+	// LiveStats is a concurrency-safe view of in-flight runs, published
+	// on a coarse cadence when set as Config.Live (see Config.LiveEvery).
+	LiveStats = core.LiveStats
+	// LiveSnapshot is a point-in-time copy of a LiveStats.
+	LiveSnapshot = core.LiveSnapshot
 	// TraceDetection locates a conventional detection within a trace
 	// event (time frame and primary output).
 	TraceDetection = core.TraceDetection
