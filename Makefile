@@ -8,9 +8,10 @@ GO ?= go
 # RunParallel scheduling, the bit-parallel prescreen, the trail/pool
 # cross-checks (pools must be per-worker, never shared), the shared
 # compiled-IR reads in internal/cir, metric registry scrapes under
-# concurrent writers, and the serve run registry.
+# concurrent writers, the serve run registry, and the cross-run LRU
+# cache under concurrent submitters.
 RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server
-RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/metrics ./internal/serve
+RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/metrics ./internal/serve ./internal/cache
 
 .PHONY: build test vet race verify bench bench-lite bench-collect benchdiff
 

@@ -11,6 +11,7 @@ import (
 	"testing"
 
 	"repro/internal/bitsim"
+	"repro/internal/cir"
 	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -455,6 +456,66 @@ func BenchmarkAblationFrameEval(b *testing.B) {
 				}
 				if _, err := s.RunFaults(T, good, faults); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWarmStart measures what the service's cross-run cache saves:
+// "setup" isolates simulator construction (compile + fault-free trace,
+// the part a warm hit skips entirely), "run" measures a full whole-list
+// simulation cold versus warm-started from a previous run's artifacts.
+func BenchmarkWarmStart(b *testing.B) {
+	e, err := circuits.SuiteEntryByName("sg298")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), 96, 1)
+	faults := fault.CollapsedList(c)
+	base, err := core.NewSimulator(c, T, core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm := core.Warm{CC: base.CC(), Good: base.Good()}
+
+	b.Run("setup-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cir.Drop(c) // force a real compile, as for a first-seen netlist
+			if _, err := core.NewSimulator(c, T, core.DefaultConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("setup-warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewSimulatorWarm(c, T, core.DefaultConfig(), warm); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, mode := range []string{"run-cold", "run-warm"} {
+		b.Run(mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				w := warm
+				if mode == "run-cold" {
+					cir.Drop(c)
+					w = core.Warm{}
+				}
+				sim, err := core.NewSimulatorWarm(c, T, core.DefaultConfig(), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sim.RunParallel(faults, 4, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Total != len(faults) {
+					b.Fatal("short run")
 				}
 			}
 		})

@@ -42,26 +42,34 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		maxRuns  = flag.Int("max-runs", 64, "maximum registered runs (finished runs stay registered)")
 		maxConc  = flag.Int("max-concurrent", max(1, runtime.NumCPU()/2), "runs executing simultaneously; further submissions queue")
+		cacheMiB = flag.Int64("cache-size", 256, "cross-run cache budget in MiB (compiled circuits and fault-free traces); 0 disables")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxRuns, *maxConc, *logJSON, *drainFor); err != nil {
+	if err := run(*addr, *maxRuns, *maxConc, *cacheMiB, *logJSON, *drainFor); err != nil {
 		fmt.Fprintln(os.Stderr, "motserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxRuns, maxConc int, logJSON bool, drainFor time.Duration) error {
+func run(addr string, maxRuns, maxConc int, cacheMiB int64, logJSON bool, drainFor time.Duration) error {
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if logJSON {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
 	}
 	log := slog.New(handler)
 
+	// The flag speaks MiB with 0 = off; the Config speaks bytes with
+	// negative = off (its zero value selects the default budget).
+	cacheBytes := cacheMiB << 20
+	if cacheMiB <= 0 {
+		cacheBytes = -1
+	}
 	s := serve.NewServer(serve.Config{
 		MaxConcurrent: maxConc,
 		MaxRuns:       maxRuns,
+		CacheBytes:    cacheBytes,
 		Logger:        log,
 	})
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
@@ -71,7 +79,7 @@ func run(addr string, maxRuns, maxConc int, logJSON bool, drainFor time.Duration
 
 	errCh := make(chan error, 1)
 	go func() {
-		log.Info("listening", "addr", addr, "max_concurrent", maxConc, "max_runs", maxRuns)
+		log.Info("listening", "addr", addr, "max_concurrent", maxConc, "max_runs", maxRuns, "cache_mib", cacheMiB)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 

@@ -24,27 +24,10 @@ func freeAddr(t *testing.T) string {
 	return addr
 }
 
-// TestServeSubmitAndShutdown boots the real server, submits a run,
-// waits for it, scrapes /metrics, and shuts down via SIGTERM.
-func TestServeSubmitAndShutdown(t *testing.T) {
-	addr := freeAddr(t)
-	errCh := make(chan error, 1)
-	go func() { errCh <- run(addr, 8, 2, true, 10*time.Second) }()
-
-	base := "http://" + addr
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		resp, err := http.Get(base + "/healthz")
-		if err == nil {
-			resp.Body.Close()
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("server did not come up: %v", err)
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-
+// submitAndWait posts one run and polls it to completion, returning the
+// final status body.
+func submitAndWait(t *testing.T, base string, deadline time.Time) map[string]any {
+	t.Helper()
 	resp, err := http.Post(base+"/runs", "application/json",
 		strings.NewReader(`{"circuit":"s27","random":16}`))
 	if err != nil {
@@ -66,23 +49,51 @@ func TestServeSubmitAndShutdown(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var cur struct {
-			Status string `json:"status"`
-		}
+		var cur map[string]any
 		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
 			t.Fatal(err)
 		}
 		resp.Body.Close()
-		if cur.Status == "done" {
-			break
-		}
-		if cur.Status == "failed" || cur.Status == "canceled" {
-			t.Fatalf("run ended %q", cur.Status)
+		switch cur["status"] {
+		case "done":
+			return cur
+		case "failed", "canceled":
+			t.Fatalf("run ended %q", cur["status"])
 		}
 		if time.Now().After(deadline) {
 			t.Fatal("run did not finish")
 		}
 		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeSubmitAndShutdown boots the real server, submits the same
+// run twice (the repeat must hit the cross-run cache), scrapes
+// /metrics, and shuts down via SIGTERM.
+func TestServeSubmitAndShutdown(t *testing.T) {
+	addr := freeAddr(t)
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(addr, 8, 2, 64, true, 10*time.Second) }()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server did not come up: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	submitAndWait(t, base, deadline)
+	warm := submitAndWait(t, base, deadline)
+	cacheInfo, _ := warm["cache"].(map[string]any)
+	if cacheInfo == nil || cacheInfo["circuit_hit"] != true || cacheInfo["trace_hit"] != true {
+		t.Errorf("repeat submission did not hit the cache: %v", warm["cache"])
 	}
 
 	mResp, err := http.Get(base + "/metrics")
@@ -93,8 +104,11 @@ func TestServeSubmitAndShutdown(t *testing.T) {
 	if _, err := fmt.Fprint(&sb, readAll(t, mResp)); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(sb.String(), "motserve_runs_done_total 1") {
-		t.Errorf("metrics missing completed run:\n%.500s", sb.String())
+	if !strings.Contains(sb.String(), "motserve_runs_done_total 2") {
+		t.Errorf("metrics missing completed runs:\n%.500s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "motserve_cache_hits_total 2") {
+		t.Errorf("metrics missing cache hits:\n%.500s", sb.String())
 	}
 
 	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
@@ -126,7 +140,7 @@ func readAll(t *testing.T, resp *http.Response) string {
 
 // TestRunBadAddress asserts startup errors surface instead of hanging.
 func TestRunBadAddress(t *testing.T) {
-	if err := run("127.0.0.1:-7", 1, 1, false, time.Second); err == nil {
+	if err := run("127.0.0.1:-7", 1, 1, 0, false, time.Second); err == nil {
 		t.Fatal("invalid address accepted")
 	}
 }

@@ -1,0 +1,176 @@
+// Package cache provides the bounded, LRU-evicting, cost-accounted
+// store behind the service's cross-run memoization: compiled circuit
+// IRs, fault-free traces and other derived artifacts are keyed by a
+// content hash of their inputs and reused across runs instead of being
+// rebuilt per request. The store is safe for concurrent use; every
+// operation is one short critical section (eviction callbacks run
+// outside the lock). Unlike the pointer-keyed per-process memo it
+// replaces in the service path, the store's footprint is bounded by a
+// caller-chosen cost budget, so a long-running server fed a stream of
+// distinct inline netlists cannot grow without bound.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of a store's counters. Hits, Misses
+// and Evictions are monotonic (sound to scrape as Prometheus counters);
+// Bytes and Entries are instantaneous gauges.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Bytes     int64 `json:"bytes"`
+	Entries   int64 `json:"entries"`
+}
+
+// entry is one cached value with its accounted cost.
+type entry[K comparable, V any] struct {
+	key  K
+	val  V
+	cost int64
+}
+
+// Store is a bounded LRU cache mapping keys to values, each carrying a
+// caller-supplied cost (bytes for memory-bounded stores, 1 for
+// count-bounded ones). When the summed cost exceeds the budget the
+// least-recently-used entries are evicted. The zero value is not usable;
+// construct with New.
+type Store[K comparable, V any] struct {
+	mu                      sync.Mutex
+	budget                  int64
+	bytes                   int64
+	hits, misses, evictions int64
+	ll                      *list.List // front = most recently used
+	items                   map[K]*list.Element
+	onEvict                 func(K, V)
+}
+
+// New returns a store bounded by the given positive cost budget.
+// onEvict, when non-nil, is called for every entry removed by eviction
+// or Remove (never while the store's lock is held, so it may call back
+// into the store).
+func New[K comparable, V any](budget int64, onEvict func(K, V)) *Store[K, V] {
+	if budget <= 0 {
+		panic("cache: budget must be positive")
+	}
+	return &Store[K, V]{
+		budget:  budget,
+		ll:      list.New(),
+		items:   make(map[K]*list.Element),
+		onEvict: onEvict,
+	}
+}
+
+// Get returns the value cached under key and marks it most recently
+// used. Every call counts as a hit or a miss.
+func (s *Store[K, V]) Get(key K) (V, bool) {
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.misses++
+		s.mu.Unlock()
+		var zero V
+		return zero, false
+	}
+	s.hits++
+	s.ll.MoveToFront(el)
+	v := el.Value.(*entry[K, V]).val
+	s.mu.Unlock()
+	return v, true
+}
+
+// Add inserts (or replaces) the value under key with the given cost and
+// marks it most recently used, evicting least-recently-used entries
+// until the budget holds again. A non-positive cost is accounted as 1.
+// A value whose cost alone exceeds the budget is refused (the store
+// stays unchanged) and Add returns false.
+func (s *Store[K, V]) Add(key K, val V, cost int64) bool {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > s.budget {
+		return false
+	}
+	var evicted []*entry[K, V]
+	s.mu.Lock()
+	if el, ok := s.items[key]; ok {
+		e := el.Value.(*entry[K, V])
+		s.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		s.ll.MoveToFront(el)
+	} else {
+		e := &entry[K, V]{key: key, val: val, cost: cost}
+		s.items[key] = s.ll.PushFront(e)
+		s.bytes += cost
+	}
+	for s.bytes > s.budget {
+		back := s.ll.Back()
+		e := back.Value.(*entry[K, V])
+		s.ll.Remove(back)
+		delete(s.items, e.key)
+		s.bytes -= e.cost
+		s.evictions++
+		evicted = append(evicted, e)
+	}
+	s.mu.Unlock()
+	if s.onEvict != nil {
+		for _, e := range evicted {
+			s.onEvict(e.key, e.val)
+		}
+	}
+	return true
+}
+
+// Remove drops the entry under key, reporting whether it was present.
+// onEvict is invoked for a removed entry (removal is an eviction by
+// another name — the callback releases whatever the entry pinned).
+func (s *Store[K, V]) Remove(key K) bool {
+	s.mu.Lock()
+	el, ok := s.items[key]
+	if !ok {
+		s.mu.Unlock()
+		return false
+	}
+	e := el.Value.(*entry[K, V])
+	s.ll.Remove(el)
+	delete(s.items, key)
+	s.bytes -= e.cost
+	s.mu.Unlock()
+	if s.onEvict != nil {
+		s.onEvict(e.key, e.val)
+	}
+	return true
+}
+
+// Len returns the number of cached entries.
+func (s *Store[K, V]) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Stats snapshots the store's counters.
+func (s *Store[K, V]) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Bytes:     s.bytes,
+		Entries:   int64(len(s.items)),
+	}
+}
+
+// Key returns the content hash (hex SHA-256) of text — the canonical
+// content-addressed key for cached artifacts derived from request
+// bodies (inline netlists, vector sets).
+func Key(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:])
+}

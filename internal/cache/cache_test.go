@@ -1,0 +1,152 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestStoreBasics(t *testing.T) {
+	s := New[string, int](10, nil)
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if !s.Add("a", 1, 4) || !s.Add("b", 2, 4) {
+		t.Fatal("Add refused entries within budget")
+	}
+	if v, ok := s.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 8 || st.Entries != 2 {
+		t.Fatalf("stats after two adds: %+v", st)
+	}
+	// Replacing a key adjusts the accounted cost, not the entry count.
+	s.Add("a", 3, 2)
+	if st := s.Stats(); st.Bytes != 6 || st.Entries != 2 {
+		t.Fatalf("stats after replace: %+v", st)
+	}
+}
+
+func TestStoreEvictsLRU(t *testing.T) {
+	var evicted []string
+	s := New[string, int](3, func(k string, _ int) { evicted = append(evicted, k) })
+	s.Add("a", 1, 1)
+	s.Add("b", 2, 1)
+	s.Add("c", 3, 1)
+	s.Get("a") // refresh a: b is now the LRU entry
+	s.Add("d", 4, 1)
+	if _, ok := s.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := s.Get(k); !ok {
+			t.Fatalf("entry %s missing after eviction", k)
+		}
+	}
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted = %v, want [b]", evicted)
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats after eviction: %+v", st)
+	}
+}
+
+func TestStoreCostEviction(t *testing.T) {
+	s := New[string, string](100, nil)
+	s.Add("small", "x", 30)
+	s.Add("big", "y", 80) // 110 > 100: small (LRU) must go
+	if _, ok := s.Get("small"); ok {
+		t.Fatal("cost eviction kept the LRU entry past budget")
+	}
+	if st := s.Stats(); st.Bytes != 80 {
+		t.Fatalf("bytes = %d, want 80", st.Bytes)
+	}
+	// An entry larger than the whole budget is refused outright.
+	if s.Add("huge", "z", 101) {
+		t.Fatal("Add accepted an entry exceeding the budget")
+	}
+	if _, ok := s.Get("big"); !ok {
+		t.Fatal("refused Add disturbed existing entries")
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	var evicted []string
+	s := New[string, int](10, func(k string, _ int) { evicted = append(evicted, k) })
+	s.Add("a", 1, 5)
+	if !s.Remove("a") || s.Remove("a") {
+		t.Fatal("Remove did not report presence correctly")
+	}
+	if st := s.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats after remove: %+v", st)
+	}
+	if len(evicted) != 1 || evicted[0] != "a" {
+		t.Fatalf("onEvict calls = %v, want [a]", evicted)
+	}
+}
+
+func TestStoreZeroCostClamped(t *testing.T) {
+	s := New[string, int](2, nil)
+	s.Add("a", 1, 0)
+	s.Add("b", 2, -7)
+	if st := s.Stats(); st.Bytes != 2 || st.Entries != 2 {
+		t.Fatalf("stats with clamped costs: %+v", st)
+	}
+	s.Add("c", 3, 0)
+	if st := s.Stats(); st.Bytes != 2 || st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats after clamped-cost eviction: %+v", st)
+	}
+}
+
+func TestKeyStable(t *testing.T) {
+	if Key("abc") != Key("abc") {
+		t.Fatal("Key is not deterministic")
+	}
+	if Key("abc") == Key("abd") {
+		t.Fatal("Key collided on distinct inputs")
+	}
+	if len(Key("")) != 64 {
+		t.Fatalf("Key length = %d, want 64 hex chars", len(Key("")))
+	}
+}
+
+// TestStoreParallel hammers one store from many goroutines mixing gets,
+// adds, removals and stat reads — the warm-hit-under-concurrent-runs
+// shape motserve exercises. Run under -race (the Makefile race recipe
+// covers this package); correctness here is "no race, no panic, sane
+// final accounting".
+func TestStoreParallel(t *testing.T) {
+	var dropped sync.Map
+	s := New[string, int](64, func(k string, _ int) { dropped.Store(k, true) })
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g*31+i)%96)
+				if _, ok := s.Get(k); !ok {
+					s.Add(k, i, int64(i%5))
+				}
+				if i%17 == 0 {
+					s.Remove(k)
+				}
+				if i%29 == 0 {
+					s.Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Bytes < 0 || st.Bytes > 64 {
+		t.Fatalf("final bytes %d outside [0, budget]", st.Bytes)
+	}
+	if st.Entries != int64(s.Len()) {
+		t.Fatalf("stats entries %d != Len %d", st.Entries, s.Len())
+	}
+	if st.Hits+st.Misses != 8*500 {
+		t.Fatalf("hits+misses = %d, want %d", st.Hits+st.Misses, 8*500)
+	}
+}

@@ -18,7 +18,9 @@ package cir
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
+	"repro/internal/cache"
 	"repro/internal/fault"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -227,20 +229,73 @@ func Compile(c *netlist.Circuit) *CC {
 	return cc
 }
 
-// compiled caches one CC per *netlist.Circuit. Circuits are immutable
-// after Build, so a pointer key is sound; the cache makes For cheap
-// enough to sit behind every compatibility constructor, guaranteeing
-// one compile per circuit per process even across RunParallel workers.
-var compiled sync.Map // *netlist.Circuit -> *CC
+// forCacheCap bounds the per-process compile cache by circuit count.
+// The cache used to be an unbounded pointer-keyed sync.Map, which grows
+// without limit in a long-running service where every inline-netlist
+// request parses a fresh *netlist.Circuit; an LRU bound keeps the
+// common cases (a CLI run, the 13-circuit suite, a service with its own
+// content-addressed layer on top) fully cached while capping the leak.
+// An evicted circuit is simply recompiled on the next For call.
+const forCacheCap = 64
 
-// For returns the compiled IR for c, compiling at most once per circuit
-// and returning the shared (read-only) CC thereafter.
+// compiled caches one CC per *netlist.Circuit, LRU-bounded. Circuits
+// are immutable after Build, so a pointer key is sound; the cache makes
+// For cheap enough to sit behind every compatibility constructor.
+var (
+	compiled  = cache.New[*netlist.Circuit, *CC](forCacheCap, nil)
+	compileMu sync.Mutex
+)
+
+// For returns the compiled IR for c, compiling at most once per cached
+// circuit and returning the shared (read-only) CC thereafter. Callers
+// that hold the result (every engine constructor does) are unaffected
+// by a later eviction; only the next For call recompiles.
 func For(c *netlist.Circuit) *CC {
-	if cc, ok := compiled.Load(c); ok {
-		return cc.(*CC)
+	if cc, ok := compiled.Get(c); ok {
+		return cc
 	}
-	cc, _ := compiled.LoadOrStore(c, Compile(c))
-	return cc.(*CC)
+	// Double-checked under a compile mutex so concurrent first calls on
+	// the same circuit share one CC (and its lazily filled cone cache)
+	// instead of racing to install different copies.
+	compileMu.Lock()
+	defer compileMu.Unlock()
+	if cc, ok := compiled.Get(c); ok {
+		return cc
+	}
+	cc := Compile(c)
+	compiled.Add(c, cc, 1)
+	return cc
+}
+
+// Drop removes c's compiled IR from the per-process cache, releasing
+// the memory it pins (arrays plus accumulated cone snapshots). Engines
+// already holding the CC keep working; a later For call recompiles.
+// The service layer calls this when its content-addressed cache evicts
+// a circuit, so the two caches cannot disagree about what is resident.
+func Drop(c *netlist.Circuit) {
+	compiled.Remove(c)
+}
+
+// MemSize estimates the compiled circuit's resident bytes: the flat
+// arrays plus the cone snapshots cached so far. It is an accounting
+// estimate for cache budgeting, not an exact heap measurement.
+func (cc *CC) MemSize() int64 {
+	n := int64(len(cc.Ops))*int64(unsafe.Sizeof(logic.Op(0))) +
+		int64(len(cc.GOut)+len(cc.Fanin))*int64(unsafe.Sizeof(netlist.NodeID(0))) +
+		int64(len(cc.Level)+len(cc.FaninStart)+len(cc.FanoutStart)+len(cc.FanoutPin)+
+			len(cc.FFOf)+len(cc.DOf)+len(cc.OutPos)+len(cc.LevelStart))*4 +
+		int64(len(cc.FanoutGate)+len(cc.Driver)+len(cc.Order))*int64(unsafe.Sizeof(netlist.GateID(0))) +
+		int64(len(cc.Inputs)+len(cc.Outputs)+len(cc.FFQ)+len(cc.FFD))*int64(unsafe.Sizeof(netlist.NodeID(0))) +
+		int64(len(cc.FFInit)) +
+		int64(len(cc.meta))*int64(unsafe.Sizeof(gateMeta{})) +
+		int64(len(cc.conesNode)+len(cc.conesGate))*int64(unsafe.Sizeof(atomic.Pointer[Cone]{}))
+	for i := range cc.conesNode {
+		n += cc.conesNode[i].Load().memSize()
+	}
+	for i := range cc.conesGate {
+		n += cc.conesGate[i].Load().memSize()
+	}
+	return n
 }
 
 // NoFault is the absence of a fault. Evaluation entry points take a

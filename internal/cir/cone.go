@@ -16,6 +16,7 @@ package cir
 
 import (
 	"sync/atomic"
+	"unsafe"
 
 	"repro/internal/fault"
 	"repro/internal/netlist"
@@ -65,6 +66,18 @@ func (co *Cone) snapshot() *Cone {
 		FFs:   append([]int32(nil), co.FFs...),
 		Outs:  append([]int32(nil), co.Outs...),
 	}
+}
+
+// memSize estimates a cone snapshot's resident bytes for cache
+// accounting; a nil cone (an unfilled slot) costs nothing.
+func (co *Cone) memSize() int64 {
+	if co == nil {
+		return 0
+	}
+	return int64(len(co.Gates))*int64(unsafe.Sizeof(netlist.GateID(0))) +
+		int64(len(co.FFs)+len(co.Outs))*4 +
+		int64(len(co.nodes)+len(co.stack))*int64(unsafe.Sizeof(netlist.NodeID(0))) +
+		int64(len(co.inNode)+len(co.inGate))
 }
 
 // ConeOf returns the active cone of f's site, computed at most once per

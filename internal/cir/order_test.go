@@ -1,0 +1,121 @@
+package cir
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+)
+
+// TestSortFaultsByConeDeterministicPermutation checks the ordering is a
+// permutation of the input, deterministic, and independent of the input
+// order and of cone-cache warmth.
+func TestSortFaultsByConeDeterministicPermutation(t *testing.T) {
+	c := circuits.S27()
+	cc := For(c)
+	faults := fault.List(c)
+
+	a := append([]fault.Fault(nil), faults...)
+	SortFaultsByCone(cc, a)
+
+	// Same multiset of faults.
+	count := func(fs []fault.Fault) map[fault.Fault]int {
+		m := make(map[fault.Fault]int)
+		for _, f := range fs {
+			m[f]++
+		}
+		return m
+	}
+	if !reflect.DeepEqual(count(a), count(faults)) {
+		t.Fatal("sorted list is not a permutation of the input")
+	}
+
+	// Re-sorting a reversed copy (cone cache now fully warm) lands on
+	// the identical order: warm and cold submissions agree.
+	b := make([]fault.Fault, len(faults))
+	for i, f := range faults {
+		b[len(faults)-1-i] = f
+	}
+	SortFaultsByCone(cc, b)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("ordering depends on input order or cache warmth")
+	}
+}
+
+// TestSortFaultsByConeGroupsSites checks the locality goal: the two
+// polarities of every fault site end up adjacent, so the second one
+// always hits the per-site cone cache.
+func TestSortFaultsByConeGroupsSites(t *testing.T) {
+	c := circuits.S27()
+	cc := For(c)
+	faults := fault.List(c)
+	SortFaultsByCone(cc, faults)
+
+	site := func(f fault.Fault) [3]int32 {
+		return [3]int32{int32(f.Node), int32(f.Gate), f.Pin}
+	}
+	seen := make(map[[3]int32]int)
+	for i, f := range faults {
+		s := site(f)
+		if last, ok := seen[s]; ok && i-last != 1 {
+			t.Fatalf("site %v split: positions %d and %d", s, last, i)
+		}
+		seen[s] = i
+	}
+
+	// The sort also filled every site's cone slot, so a fresh lookup is
+	// a pure cache read returning the identical snapshot.
+	for i := range faults {
+		if co := cc.ConeOf(&faults[i]); co != cc.ConeOf(&faults[i]) {
+			t.Fatal("ConeOf not cached after SortFaultsByCone")
+		}
+	}
+}
+
+// TestForBoundedCache checks the compile cache's LRU bound and Drop:
+// a cached circuit returns the shared CC, Drop forces a recompile, and
+// overflowing the capacity evicts rather than growing without bound.
+func TestForBoundedCache(t *testing.T) {
+	c := circuits.S27()
+	cc := For(c)
+	if For(c) != cc {
+		t.Fatal("For did not return the cached CC")
+	}
+	Drop(c)
+	cc2 := For(c)
+	if cc2 == cc {
+		t.Fatal("For returned the dropped CC")
+	}
+	if cc2.NumGates() != cc.NumGates() || cc2.NumNodes() != cc.NumNodes() {
+		t.Fatal("recompiled CC differs structurally")
+	}
+
+	// Push forCacheCap fresh circuits through the cache; the early ones
+	// must be evicted (a later For compiles anew) instead of pinned.
+	first := circuits.S27()
+	ccFirst := For(first)
+	for i := 0; i < forCacheCap; i++ {
+		For(circuits.S27())
+	}
+	if For(first) == ccFirst {
+		t.Fatal("compile cache retained an entry past its capacity")
+	}
+}
+
+func TestCCMemSizePositive(t *testing.T) {
+	c := circuits.S27()
+	cc := For(c)
+	base := cc.MemSize()
+	if base <= 0 {
+		t.Fatalf("MemSize = %d, want > 0", base)
+	}
+	// Filling cone snapshots grows the accounted size.
+	faults := fault.List(c)
+	for i := range faults {
+		cc.ConeOf(&faults[i])
+	}
+	if grown := cc.MemSize(); grown <= base {
+		t.Fatalf("MemSize after cone fills = %d, want > %d", grown, base)
+	}
+}

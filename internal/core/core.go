@@ -75,16 +75,56 @@ type Simulator struct {
 // NewSimulator builds a simulator, running fault-free simulation of the
 // test sequence once up front.
 func NewSimulator(c *netlist.Circuit, T seqsim.Sequence, cfg Config) (*Simulator, error) {
+	return NewSimulatorWarm(c, T, cfg, Warm{})
+}
+
+// Warm carries precomputed artifacts NewSimulatorWarm may reuse instead
+// of rebuilding them — the cross-run memoization hook the service layer
+// fills from its content-addressed cache. Both fields are optional;
+// the zero Warm is a fully cold start.
+type Warm struct {
+	// CC is the compiled IR of the circuit (must have been compiled
+	// from the same *netlist.Circuit passed to NewSimulatorWarm).
+	CC *cir.CC
+	// Good is the fault-free trace of the test sequence on the circuit,
+	// with node values retained — exactly what Good() of a previous
+	// simulator over the same (circuit, sequence) returns. The trace is
+	// read-only to the simulator, so one trace may warm any number of
+	// concurrent simulators.
+	Good *seqsim.Trace
+}
+
+// NewSimulatorWarm is NewSimulator with warm-start reuse: a provided
+// compiled IR skips the compile (and the process compile-cache lookup),
+// and a provided fault-free trace skips the step-0 good-machine
+// simulation entirely. Outcomes are byte-identical to a cold start;
+// only Result.Stages.CompileTime and construction latency change.
+func NewSimulatorWarm(c *netlist.Circuit, T seqsim.Sequence, cfg Config, w Warm) (*Simulator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	compileStart := time.Now()
-	cc := cir.For(c)
-	compile := time.Since(compileStart)
+	cc := w.CC
+	var compile time.Duration
+	switch {
+	case cc == nil:
+		compileStart := time.Now()
+		cc = cir.For(c)
+		compile = time.Since(compileStart)
+	case cc.Net != c:
+		return nil, fmt.Errorf("core: warm CC was compiled from a different circuit")
+	}
 	sim := seqsim.NewCompiled(cc)
-	good, err := sim.Run(T, nil, true)
-	if err != nil {
-		return nil, err
+	good := w.Good
+	switch {
+	case good == nil:
+		var err error
+		if good, err = sim.Run(T, nil, true); err != nil {
+			return nil, err
+		}
+	case good.Len() != len(T):
+		return nil, fmt.Errorf("core: warm good trace covers %d frames, sequence has %d", good.Len(), len(T))
+	case len(T) > 0 && good.Nodes == nil:
+		return nil, fmt.Errorf("core: warm good trace has no node values (need keepNodes)")
 	}
 	s := &Simulator{c: c, cc: cc, compile: compile, cfg: cfg, T: T, good: good, sim: sim}
 	if cfg.Metrics {
@@ -93,8 +133,14 @@ func NewSimulator(c *netlist.Circuit, T seqsim.Sequence, cfg Config) (*Simulator
 	return s, nil
 }
 
-// Good returns the fault-free trace.
+// Good returns the fault-free trace. It is read-only to the simulator
+// and safe to reuse as Warm.Good for later runs of the same circuit
+// and sequence.
 func (s *Simulator) Good() *seqsim.Trace { return s.good }
+
+// CC returns the compiled circuit IR the simulator runs on, safe to
+// reuse as Warm.CC for later runs of the same circuit.
+func (s *Simulator) CC() *cir.CC { return s.cc }
 
 // Config returns the active configuration.
 func (s *Simulator) Config() Config { return s.cfg }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/fault"
+	"repro/internal/tgen"
+)
+
+// TestWarmStartCrossCheckParallel is the warm-vs-cold equality gate for
+// the memoization layer: a simulator warm-started from another
+// simulator's compiled IR and fault-free trace must produce
+// byte-identical results — same outcomes, same deterministic trace
+// stream — under both serial and parallel execution. The name keeps it
+// inside the race recipe: the warm good trace is shared read-only by
+// every worker of the warm run while the cold run's workers still hold
+// it.
+func TestWarmStartCrossCheckParallel(t *testing.T) {
+	e, err := circuits.SuiteEntryByName("sg208")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), 48, 3)
+	faults := fault.CollapsedList(c)
+
+	run := func(w Warm, workers int) (*Result, string) {
+		cfg := DefaultConfig()
+		var trace bytes.Buffer
+		cfg.TraceWriter = &trace
+		sim, err := NewSimulatorWarm(c, T, cfg, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.RunParallel(faults, workers, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, trace.String()
+	}
+
+	coldSim, err := NewSimulator(c, T, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := Warm{CC: coldSim.CC(), Good: coldSim.Good()}
+
+	coldRes, coldTrace := run(Warm{}, 1)
+	for _, workers := range []int{1, 4} {
+		warmRes, warmTrace := run(warm, workers)
+		if !reflect.DeepEqual(warmRes.Outcomes, coldRes.Outcomes) {
+			t.Fatalf("workers=%d: warm outcomes differ from cold", workers)
+		}
+		if warmTrace != coldTrace {
+			t.Fatalf("workers=%d: warm trace differs from cold", workers)
+		}
+		if warmRes.Conv != coldRes.Conv || warmRes.MOT != coldRes.MOT {
+			t.Fatalf("workers=%d: warm tallies %d/%d != cold %d/%d",
+				workers, warmRes.Conv, warmRes.MOT, coldRes.Conv, coldRes.MOT)
+		}
+		// The warm start skipped the compile: the stage timing records a
+		// zero compile, unlike the cold run's.
+		if warmRes.Stages.CompileTime != 0 {
+			t.Fatalf("workers=%d: warm CompileTime = %v, want 0", workers, warmRes.Stages.CompileTime)
+		}
+	}
+}
+
+// TestNewSimulatorWarmValidation exercises the mismatch guards.
+func TestNewSimulatorWarmValidation(t *testing.T) {
+	c := circuits.S27()
+	T := tgen.Random(c.NumInputs(), 8, 1)
+	sim, err := NewSimulator(c, T, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	other := circuits.S27() // structurally equal, different pointer
+	if _, err := NewSimulatorWarm(other, T, DefaultConfig(), Warm{CC: sim.CC()}); err == nil ||
+		!strings.Contains(err.Error(), "different circuit") {
+		t.Fatalf("foreign CC accepted: %v", err)
+	}
+
+	short := tgen.Random(c.NumInputs(), 4, 1)
+	if _, err := NewSimulatorWarm(c, short, DefaultConfig(), Warm{Good: sim.Good()}); err == nil ||
+		!strings.Contains(err.Error(), "frames") {
+		t.Fatalf("length-mismatched good trace accepted: %v", err)
+	}
+
+	noNodes, err := sim.sim.Run(T, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSimulatorWarm(c, T, DefaultConfig(), Warm{Good: noNodes}); err == nil ||
+		!strings.Contains(err.Error(), "node values") {
+		t.Fatalf("nodeless good trace accepted: %v", err)
+	}
+}

@@ -91,6 +91,28 @@ func NewTrace(c *netlist.Circuit, L int, keepNodes bool) *Trace {
 // Len returns the number of simulated time frames.
 func (t *Trace) Len() int { return len(t.Outputs) }
 
+// MemSize estimates the trace's resident bytes for cache budgeting
+// (one byte per logic value, counting the preallocated backing rows
+// where present so reusable traces account their full footprint).
+func (t *Trace) MemSize() int64 {
+	var n int64
+	rows := func(rr [][]logic.Val) {
+		for _, r := range rr {
+			n += int64(len(r))
+		}
+	}
+	if t.allStates != nil {
+		rows(t.allStates)
+		rows(t.allOutputs)
+		rows(t.allNodes)
+	} else {
+		rows(t.States)
+		rows(t.Outputs)
+		rows(t.Nodes)
+	}
+	return n
+}
+
 // SimStats counts the work a Simulator performed: time frames by
 // evaluation mode and gate evaluations on the event-driven path. The
 // counters are plain fields maintained by the simulator's single

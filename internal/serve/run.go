@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/cir"
 	"repro/internal/circuits"
 	"repro/internal/core"
 	"repro/internal/fault"
@@ -77,6 +78,14 @@ type Run struct {
 	method  string
 	workers int
 
+	// Warm-start state from the server's cross-run cache: warm carries
+	// the compiled IR (always) and the fault-free trace (on a trace
+	// hit); goodKey is where execute stores the trace after a cold run.
+	warm    core.Warm
+	goodKey string
+	cache   *runCache
+	info    CacheInfo
+
 	live   *core.LiveStats
 	events *eventLog
 	cancel context.CancelFunc
@@ -103,6 +112,10 @@ type RunStatus struct {
 	StartedAt  *time.Time `json:"started_at,omitempty"`
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
 
+	// Cache reports which memoized artifacts this run reused; absent
+	// when the server's cache is disabled.
+	Cache *CacheInfo `json:"cache,omitempty"`
+
 	// Live is the current (mid-run) or final snapshot of the run's
 	// counters; see core.LiveSnapshot for field semantics.
 	Live core.LiveSnapshot `json:"live"`
@@ -111,23 +124,39 @@ type RunStatus struct {
 	Error  string            `json:"error,omitempty"`
 }
 
-// buildRun validates a request and compiles everything the run needs.
-func buildRun(id string, req RunRequest, now time.Time) (*Run, error) {
+// buildRun validates a request and assembles everything the run needs,
+// reusing the server's cross-run cache where the request's content
+// matches a previous submission: a circuit hit skips parsing and
+// compilation, a trace hit lets execute skip the fault-free (step-0)
+// simulation. The returned run has no ID yet — handleCreate assigns it
+// inside the same critical section that reserves the registry slot.
+func (s *Server) buildRun(req RunRequest, now time.Time) (*Run, error) {
 	var c *netlist.Circuit
+	var cc *cir.CC
+	var info CacheInfo
 	var err error
 	switch {
 	case req.Circuit != "" && req.Bench != "":
 		return nil, fmt.Errorf("request sets both circuit and bench")
-	case req.Circuit != "":
-		if c, err = circuits.ByName(req.Circuit); err != nil {
-			return nil, err
-		}
-	case req.Bench != "":
-		if c, err = bench.ParseString("request.bench", req.Bench); err != nil {
-			return nil, err
-		}
-	default:
+	case req.Circuit == "" && req.Bench == "":
 		return nil, fmt.Errorf("request needs a circuit name or an inline bench netlist")
+	}
+	src := srcKey(req)
+	if e, ok := s.cache.circuit(src); ok {
+		c, cc = e.c, e.cc
+		info.CircuitHit = true
+	} else {
+		if req.Circuit != "" {
+			if c, err = circuits.ByName(req.Circuit); err != nil {
+				return nil, err
+			}
+		} else {
+			if c, err = bench.ParseString("request.bench", req.Bench); err != nil {
+				return nil, err
+			}
+		}
+		cc = cir.For(c)
+		s.cache.addCircuit(src, circuitEntry{c: c, cc: cc})
 	}
 
 	var T seqsim.Sequence
@@ -138,7 +167,10 @@ func buildRun(id string, req RunRequest, now time.Time) (*Run, error) {
 		if T, err = vectors.Read(strings.NewReader(req.Vectors)); err != nil {
 			return nil, err
 		}
-		if len(T) > 0 && len(T[0]) != c.NumInputs() {
+		if len(T) == 0 {
+			return nil, fmt.Errorf("vectors text contains no patterns")
+		}
+		if len(T[0]) != c.NumInputs() {
 			return nil, fmt.Errorf("vectors have %d inputs, circuit %s has %d",
 				len(T[0]), c.Name, c.NumInputs())
 		}
@@ -192,9 +224,22 @@ func buildRun(id string, req RunRequest, now time.Time) (*Run, error) {
 	if req.FullFaults {
 		faults = fault.List(c)
 	}
+	// Cone-locality order: consecutive faults share cone snapshots and
+	// scratch cache lines. The ordering is a pure function of the
+	// compiled circuit and the list, so warm and cold submissions of
+	// the same request simulate faults in the same order and their
+	// results stay byte-identical. Side effect: every cone snapshot is
+	// now cached on cc, so a warm rerun performs no cone traversals.
+	cir.SortFaultsByCone(cc, faults)
+
+	warm := core.Warm{CC: cc}
+	gk := goodKey(req)
+	if tr, ok := s.cache.trace(gk); ok {
+		warm.Good = tr
+		info.TraceHit = true
+	}
 
 	r := &Run{
-		ID:      id,
 		Req:     req,
 		Created: now,
 		circuit: c,
@@ -203,6 +248,10 @@ func buildRun(id string, req RunRequest, now time.Time) (*Run, error) {
 		cfg:     cfg,
 		method:  method,
 		workers: workers,
+		warm:    warm,
+		goodKey: gk,
+		cache:   s.cache,
+		info:    info,
 		live:    &core.LiveStats{},
 		events:  newEventLog(),
 		status:  StatusQueued,
@@ -228,6 +277,10 @@ func (r *Run) Status() RunStatus {
 		Faults:    len(r.faults),
 		CreatedAt: r.Created,
 		Live:      r.live.Snapshot(),
+	}
+	if r.cache != nil {
+		info := r.info
+		st.Cache = &info
 	}
 	if !r.started.IsZero() {
 		t := r.started
@@ -282,9 +335,15 @@ func (r *Run) execute(ctx context.Context) {
 		}
 	}()
 
-	sim, err := core.NewSimulator(r.circuit, r.seq, r.cfg)
+	sim, err := core.NewSimulatorWarm(r.circuit, r.seq, r.cfg, r.warm)
 	var res *core.Result
 	if err == nil {
+		// A cold run just paid for the fault-free simulation; bank its
+		// trace so the next submission of the same (circuit, vectors)
+		// pair starts warm.
+		if r.warm.Good == nil {
+			r.cache.addTrace(r.goodKey, sim.Good())
+		}
 		res, err = sim.RunParallelContext(ctx, r.faults, r.workers, nil)
 	}
 	close(stop)

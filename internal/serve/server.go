@@ -24,6 +24,11 @@ type Config struct {
 	// so their counters stay scrapeable); submissions beyond the cap are
 	// rejected with 503. Zero means 64.
 	MaxRuns int
+	// CacheBytes is the byte budget of the cross-run memoization cache
+	// (compiled circuits and fault-free traces, keyed by request
+	// content). Zero means the 256 MiB default; negative disables the
+	// cache entirely.
+	CacheBytes int64
 	// Prefix is the metric-name prefix, default "motserve".
 	Prefix string
 	// Logger receives structured request/run logs; default slog.Default.
@@ -36,6 +41,10 @@ type Server struct {
 	cfg Config
 	log *slog.Logger
 	reg *metrics.Registry
+
+	// cache memoizes compiled circuits and fault-free traces across
+	// runs; nil when disabled (its methods are nil-safe).
+	cache *runCache
 
 	sem chan struct{} // execution slots
 
@@ -60,6 +69,9 @@ func NewServer(cfg Config) *Server {
 	if cfg.MaxRuns <= 0 {
 		cfg.MaxRuns = 64
 	}
+	if cfg.CacheBytes == 0 {
+		cfg.CacheBytes = 256 << 20
+	}
 	if cfg.Prefix == "" {
 		cfg.Prefix = "motserve"
 	}
@@ -73,6 +85,9 @@ func NewServer(cfg Config) *Server {
 		sem:  make(chan struct{}, cfg.MaxConcurrent),
 		runs: make(map[string]*Run),
 	}
+	if cfg.CacheBytes > 0 {
+		s.cache = newRunCache(cfg.CacheBytes)
+	}
 	RegisterLiveCounters(s.reg, cfg.Prefix, s.liveSnapshot)
 	RegisterLiveHistograms(s.reg, cfg.Prefix, s.latestMetrics)
 	s.reg.GaugeFunc(cfg.Prefix+"_runs_active", "Runs currently executing.", func() float64 {
@@ -82,6 +97,16 @@ func NewServer(cfg Config) *Server {
 		return float64(s.countStatus(StatusQueued))
 	})
 	s.httpRequests = s.reg.Counter(cfg.Prefix+"_http_requests_total", "HTTP requests served.")
+	// The cache series register even when the cache is disabled (they
+	// then read zero forever) so dashboards need no conditional panels.
+	s.reg.CounterFunc(cfg.Prefix+"_cache_hits_total", "Cross-run cache lookups that hit.",
+		func() int64 { return s.cache.stats().Hits })
+	s.reg.CounterFunc(cfg.Prefix+"_cache_misses_total", "Cross-run cache lookups that missed.",
+		func() int64 { return s.cache.stats().Misses })
+	s.reg.CounterFunc(cfg.Prefix+"_cache_evictions_total", "Cross-run cache entries evicted.",
+		func() int64 { return s.cache.stats().Evictions })
+	s.reg.GaugeFunc(cfg.Prefix+"_cache_bytes_total", "Accounted bytes resident in the cross-run cache.",
+		func() float64 { return float64(s.cache.stats().Bytes) })
 	return s
 }
 
@@ -193,23 +218,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
-		return
-	}
-	if len(s.runs) >= s.cfg.MaxRuns {
-		s.mu.Unlock()
-		httpError(w, http.StatusServiceUnavailable,
-			fmt.Errorf("run registry full (%d runs)", s.cfg.MaxRuns))
-		return
-	}
-	s.nextID++
-	id := fmt.Sprintf("r%04d", s.nextID)
-	s.mu.Unlock()
-
-	run, err := buildRun(id, req, time.Now())
+	run, err := s.buildRun(req, time.Now())
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
@@ -218,6 +227,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithCancel(context.Background())
 	run.cancel = cancel
 
+	// One critical section checks the shutdown flag, re-checks the
+	// registry cap, and reserves the slot (ID + map insert). Splitting
+	// the cap check from the insert would let concurrent submissions
+	// all pass the check and overfill the registry.
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -225,6 +238,16 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, fmt.Errorf("server shutting down"))
 		return
 	}
+	if len(s.runs) >= s.cfg.MaxRuns {
+		s.mu.Unlock()
+		cancel()
+		httpError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("run registry full (%d runs)", s.cfg.MaxRuns))
+		return
+	}
+	s.nextID++
+	id := fmt.Sprintf("r%04d", s.nextID)
+	run.ID = id
 	s.runs[id] = run
 	s.order = append(s.order, id)
 	s.wg.Add(1)
@@ -241,10 +264,15 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		case s.sem <- struct{}{}:
 			defer func() { <-s.sem }()
 		case <-ctx.Done():
-			// Canceled while queued.
+			// Canceled while queued: the run never executed, so mark it
+			// started and finished at the same instant — timestamps then
+			// always appear in pairs (a finished run without a start time
+			// breaks any elapsed computation downstream).
+			now := time.Now()
 			run.mu.Lock()
 			run.status = StatusCanceled
-			run.finished = time.Now()
+			run.started = now
+			run.finished = now
 			run.runErr = ctx.Err()
 			run.mu.Unlock()
 			run.event("status", map[string]any{"status": StatusCanceled})
@@ -254,8 +282,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		run.execute(ctx)
 		st := run.Status()
-		attrs := []any{"run", id, "status", st.Status,
-			"elapsed", st.FinishedAt.Sub(*st.StartedAt).Round(time.Millisecond)}
+		attrs := []any{"run", id, "status", st.Status}
+		if st.StartedAt != nil && st.FinishedAt != nil {
+			attrs = append(attrs, "elapsed", st.FinishedAt.Sub(*st.StartedAt).Round(time.Millisecond))
+		}
 		if st.Status == StatusDone {
 			attrs = append(attrs, report.ResultAttrs(run.result)...)
 			s.log.Info("run finished", attrs...)
