@@ -6,8 +6,9 @@ GO ?= go
 
 # Test names covering code that runs concurrently or reuses pooled state:
 # RunParallel scheduling, the bit-parallel prescreen, the trail/pool
-# cross-checks (pools must be per-worker, never shared), the shared
-# compiled-IR reads in internal/cir, metric registry scrapes under
+# cross-checks (pools must be per-worker, never shared), the bit-parallel
+# resimulation cross-checks (per-worker regions and lane scratch), the
+# shared compiled-IR reads in internal/cir, metric registry scrapes under
 # concurrent writers, the serve run registry, and the cross-run LRU
 # cache under concurrent submitters.
 RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server
@@ -31,14 +32,14 @@ verify: build test vet race
 
 # Whole-list MOT benchmarks (Table 2 circuits) with allocation stats.
 bench:
-	$(GO) test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 .
+	$(GO) test -run xxx -bench 'Table2|Prescreen|ResimBitParallel' -benchmem -benchtime 2x -count 3 .
 
 # Quick sg298-only slice of the whole-list benchmarks — the CI-sized
 # regression probe. Combine with benchdiff:
 #   make bench-lite | tee benchdiff.out
-#   go run ./cmd/benchdiff -baseline BENCH_PR4.json benchdiff.out
+#   go run ./cmd/benchdiff -baseline BENCH_PR7.json benchdiff.out
 bench-lite:
-	$(GO) test -run xxx -bench 'Table2_sg298|LiveOverhead' -benchmem -benchtime 2x -count 3 .
+	$(GO) test -run xxx -bench 'Table2_sg298|LiveOverhead|ResimBitParallel' -benchmem -benchtime 2x -count 3 .
 
 # Pair-collection and implication micro-benchmarks: pooled/trail path
 # against the retained allocate-per-pair reference.
@@ -52,5 +53,5 @@ bench-collect:
 # to compare against a specific PR.
 BENCH_BASELINE ?=
 benchdiff:
-	$(GO) test -run xxx -bench 'Table2|Prescreen' -benchmem -benchtime 2x -count 3 . | tee benchdiff.out
+	$(GO) test -run xxx -bench 'Table2|Prescreen|ResimBitParallel' -benchmem -benchtime 2x -count 3 . | tee benchdiff.out
 	$(GO) run ./cmd/benchdiff $(if $(BENCH_BASELINE),-baseline $(BENCH_BASELINE)) benchdiff.out

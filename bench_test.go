@@ -268,6 +268,46 @@ func BenchmarkPrescreenOff_sg298(b *testing.B) { benchPrescreen(b, "sg298", fals
 func BenchmarkPrescreenOn_sg344(b *testing.B)  { benchPrescreen(b, "sg344", true) }
 func BenchmarkPrescreenOff_sg344(b *testing.B) { benchPrescreen(b, "sg344", false) }
 
+// --- Bit-parallel resimulation: 256-lane expansion stage ---
+
+// benchResimBitParallel measures the whole-list pipeline with the
+// bit-parallel Section 3.4 resimulation on vs. off. sg298 is the
+// resimulation-heavy workload (many MOT-pipeline faults with large
+// expansion sets); the outcomes are identical either way and the stage
+// counters are asserted to reflect the selected path.
+func benchResimBitParallel(b *testing.B, name string, on bool) {
+	e, err := circuits.SuiteEntryByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	cfg := core.DefaultConfig()
+	cfg.BitParallelResim = on
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulator(c, T, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run(faults, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if on && res.Stages.ResimVectorPasses == 0 {
+			b.Fatal("bit-parallel resim on but no vector passes recorded")
+		}
+		if !on && res.Stages.ResimVectorPasses != 0 {
+			b.Fatal("bit-parallel resim off but vector passes recorded")
+		}
+	}
+}
+
+func BenchmarkResimBitParallelOn_sg298(b *testing.B)  { benchResimBitParallel(b, "sg298", true) }
+func BenchmarkResimBitParallelOff_sg298(b *testing.B) { benchResimBitParallel(b, "sg298", false) }
+
 // --- Ablations (DESIGN.md §5) ---
 
 // BenchmarkAblationImplicationPasses compares the paper's two-pass

@@ -41,6 +41,7 @@ type runOptions struct {
 	full, list, stats  bool
 	workers            int
 	prescreen          bool
+	bpResim            bool
 	coneOrder          bool
 	metrics            bool
 	jsonOut            bool
@@ -67,6 +68,7 @@ func main() {
 	flag.BoolVar(&o.stats, "stats", false, "print circuit statistics and exit")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
 	flag.BoolVar(&o.prescreen, "prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
+	flag.BoolVar(&o.bpResim, "bp-resim", true, "bit-parallel expanded-sequence resimulation (one 256-lane pass per expansion)")
 	flag.BoolVar(&o.coneOrder, "cone-order", false, "simulate faults in cone-locality order (deterministic; groups overlapping active cones)")
 	flag.BoolVar(&o.metrics, "metrics", true, "collect the per-stage breakdown and per-fault histograms")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the run summary as JSON instead of text")
@@ -274,6 +276,7 @@ func run(o runOptions) error {
 	}
 	cfg.NStates = max(1, o.nstates)
 	cfg.Prescreen = o.prescreen
+	cfg.BitParallelResim = o.bpResim
 	cfg.Metrics = o.metrics
 	cfg.TraceTimings = o.traceTimings
 	if o.tracePath != "" {
@@ -330,6 +333,11 @@ func run(o runOptions) error {
 			res.Stages.PrescreenPasses, res.Stages.PrescreenDropped,
 			res.Stages.PrescreenTime.Round(time.Microsecond),
 			res.Stages.MOTTime.Round(time.Microsecond))
+	}
+	if cfg.BitParallelResim && res.Stages.ResimVectorPasses > 0 {
+		fmt.Fprintf(out, "  resim: %d vector passes over %d frames (%d serial fallbacks)\n",
+			res.Stages.ResimVectorPasses, res.Stages.ResimVectorFrames,
+			res.Stages.ResimSerialFallbacks)
 	}
 	fmt.Fprintf(out, "  detected conventionally: %d\n", res.Conv)
 	fmt.Fprintf(out, "  detected by MOT beyond conventional: %d (%d by identification alone)\n", res.MOT, res.Identified)

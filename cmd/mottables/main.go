@@ -52,6 +52,7 @@ type runOptions struct {
 	hitecCircuit string
 	workers      int
 	prescreen    bool
+	bpResim      bool
 	metricsAddr  string
 	prof         profiling.Options
 
@@ -72,6 +73,7 @@ func main() {
 	flag.StringVar(&o.hitecCircuit, "hitec-circuit", "sg5378", "suite circuit for the deterministic-sequence experiment")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
 	flag.BoolVar(&o.prescreen, "prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
+	flag.BoolVar(&o.bpResim, "bp-resim", true, "bit-parallel expanded-sequence resimulation (one 256-lane pass per expansion)")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics, /healthz and pprof on this address during the suite run")
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
@@ -160,10 +162,11 @@ func run(o runOptions) error {
 		names = strings.Split(o.circuits, ",")
 	}
 	opts := experiments.Options{
-		NStates:            o.nstates,
-		SkipBaselineScaled: o.skipNA,
-		Workers:            o.workers,
-		DisablePrescreen:   !o.prescreen,
+		NStates:                 o.nstates,
+		SkipBaselineScaled:      o.skipNA,
+		Workers:                 o.workers,
+		DisablePrescreen:        !o.prescreen,
+		DisableBitParallelResim: !o.bpResim,
 	}
 	if o.metricsAddr != "" {
 		reg, live := serve.NewRunTelemetry("mottables")

@@ -1,17 +1,20 @@
 // Package bitsim implements bit-parallel three-valued fault simulation:
-// 63 faulty machines plus the fault-free machine are simulated
+// 255 faulty machines plus the fault-free machine are simulated
 // simultaneously, one per bit lane, using the classic two-word encoding
-// of three-valued values. This is the standard single-fault-propagation
-// speed-up the paper sets aside ("we do not consider methods to speed up
-// the simulation process"); it accelerates the conventional-simulation
-// stage and is validated lane-for-lane against the serial simulator.
+// of three-valued values widened to [4]uint64 words (cir.VV4). This is
+// the standard single-fault-propagation speed-up the paper sets aside
+// ("we do not consider methods to speed up the simulation process"); it
+// accelerates the conventional-simulation stage and is validated
+// lane-for-lane against the serial simulator.
 //
 // The circuit structure and the lane-wise gate semantics come from the
 // compiled IR (internal/cir): the frame loop walks the CSR arrays and
-// every gate evaluates through cir.EvalOpVV. What stays here is fault
-// injection — the dense per-node stem table and per-gate branch table
-// are batch-specific (each batch carries a different 63-fault lane
-// assignment), not circuit structure.
+// every gate evaluates the cir.VV4 fold semantics, inlined over only
+// the words that hold occupied lanes (partial batches narrow to one or
+// two words). What stays here is fault injection — the dense per-node
+// stem table and per-gate branch table are batch-specific (each batch
+// carries a different 255-fault lane assignment), not circuit
+// structure.
 package bitsim
 
 import (
@@ -29,25 +32,42 @@ import (
 
 // Lanes is the number of machines per batch: lane 0 is fault-free and
 // the remaining lanes carry one fault each.
-const Lanes = 64
+const Lanes = cir.Lanes4
 
-// VV is the 64-lane three-valued vector (see cir.VV for the encoding).
-type VV = cir.VV
+// VV is the 256-lane three-valued vector (see cir.VV4 for the encoding).
+type VV = cir.VV4
+
+// laneWords is the number of uint64 words backing one VV.
+const laneWords = 4
 
 // stemForce accumulates per-node stem-fault injections.
 type stemForce struct {
-	maskOne  uint64 // lanes stuck at 1
-	maskZero uint64 // lanes stuck at 0
+	maskOne  [laneWords]uint64 // lanes stuck at 1
+	maskZero [laneWords]uint64 // lanes stuck at 0
+	any      bool
+}
+
+// set marks lane k stuck at v.
+func (s *stemForce) set(k uint, v logic.Val) {
+	w, bit := k>>6, uint64(1)<<(k&63)
+	if v == logic.One {
+		s.maskOne[w] |= bit
+	} else {
+		s.maskZero[w] |= bit
+	}
+	s.any = true
 }
 
 // apply injects the stem faults into a node value.
-func (s stemForce) apply(v VV) VV {
-	mask := s.maskOne | s.maskZero
-	if mask == 0 {
+func (s *stemForce) apply(v VV) VV {
+	if !s.any {
 		return v
 	}
-	v.One = v.One&^mask | s.maskOne
-	v.Zero = v.Zero&^mask | s.maskZero
+	for w := 0; w < laneWords; w++ {
+		mask := s.maskOne[w] | s.maskZero[w]
+		v.One[w] = v.One[w]&^mask | s.maskOne[w]
+		v.Zero[w] = v.Zero[w]&^mask | s.maskZero[w]
+	}
 	return v
 }
 
@@ -67,8 +87,8 @@ type batch struct {
 	stems []stemForce
 	// branch[gi] lists the branch-fault injections at gate gi's pins.
 	branch [][]branchForce
-	vals  []VV
-	state []VV
+	vals   []VV
+	state  []VV
 }
 
 // newBatch prepares injection tables for a fault group.
@@ -86,22 +106,12 @@ func newBatch(c *netlist.Circuit, faults []fault.Fault) (*batch, error) {
 		state:  make([]VV, cc.NumFFs()),
 	}
 	for k, f := range faults {
-		mask := uint64(1) << uint(k+1)
 		if f.IsStem() {
-			s := &b.stems[f.Node]
-			if f.Stuck == logic.One {
-				s.maskOne |= mask
-			} else {
-				s.maskZero |= mask
-			}
+			b.stems[f.Node].set(uint(k+1), f.Stuck)
 			continue
 		}
 		var force stemForce
-		if f.Stuck == logic.One {
-			force.maskOne = mask
-		} else {
-			force.maskZero = mask
-		}
+		force.set(uint(k+1), f.Stuck)
 		b.branch[f.Gate] = append(b.branch[f.Gate], branchForce{pin: f.Pin, force: force})
 	}
 	return b, nil
@@ -110,20 +120,43 @@ func newBatch(c *netlist.Circuit, faults []fault.Fault) (*batch, error) {
 // read returns the value gate gi sees on pin pi of node id.
 func (b *batch) read(gi netlist.GateID, pi int32, id netlist.NodeID) VV {
 	v := b.vals[id]
-	for _, bf := range b.branch[gi] {
-		if bf.pin == pi {
+	for i := range b.branch[gi] {
+		if bf := &b.branch[gi][i]; bf.pin == pi {
 			v = bf.force.apply(v)
 		}
 	}
 	return v
 }
 
+// readPin is batch.read for the inlined gate fold in run: when any of
+// the gate's branch injections sits on pin pi, the patched value is
+// built in *tmp and returned; otherwise the unpatched in passes through.
+func readPin(brs []branchForce, pi int32, in *VV, tmp *VV) *VV {
+	patched := false
+	for i := range brs {
+		if bf := &brs[i]; bf.pin == pi {
+			if !patched {
+				*tmp = *in
+				patched = true
+			}
+			*tmp = bf.force.apply(*tmp)
+		}
+	}
+	if !patched {
+		return in
+	}
+	return tmp
+}
+
 // evalGate streams gate gi's observed inputs through the shared
-// lane-wise fold, keeping the accumulator in registers rather than
-// bouncing the gathered vectors through memory.
+// lane-wise fold. run inlines the same semantics over the live words;
+// evalGate is retained as the readable reference implementation the
+// per-lane gate property test checks against logic.Eval (the inlined
+// loop is itself checked lane-for-lane against the serial simulator by
+// the whole-run cross-check tests).
 func (b *batch) evalGate(gi netlist.GateID) VV {
 	cc := b.cc
-	fo := cir.StartVV(cc.Ops[gi])
+	fo := cir.StartVV4(cc.Ops[gi])
 	lo, hi := cc.FaninStart[gi], cc.FaninStart[gi+1]
 	for k := lo; k < hi; k++ {
 		fo.Add(b.read(gi, k-lo, cc.Fanin[k]))
@@ -137,10 +170,16 @@ func Batches(n int) int {
 	return (n + Lanes - 2) / (Lanes - 1)
 }
 
+// laneSet is a 256-bit lane membership mask.
+type laneSet [laneWords]uint64
+
+// add marks lane k.
+func (m *laneSet) add(k uint) { m[k>>6] |= 1 << (k & 63) }
+
 // Stats counts the work of one whole-list bit-parallel run. Counters are
 // accumulated atomically so parallel batches share one Stats value.
 type Stats struct {
-	// Batches is the number of 63-fault batches simulated.
+	// Batches is the number of 255-fault batches simulated.
 	Batches int64 `json:"batches"`
 	// Frames is the number of time frames actually evaluated across all
 	// batches; SavedFrames counts frames skipped because every fault lane
@@ -160,7 +199,7 @@ func (s *Stats) add(frames, saved int64) {
 	atomic.AddInt64(&s.SavedFrames, saved)
 }
 
-// Run simulates the test sequence for every fault (in batches of 63),
+// Run simulates the test sequence for every fault (in batches of 255),
 // returning per-fault first-detection results identical to the serial
 // simulator's seqsim.RunFaults.
 func Run(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) ([]seqsim.FaultResult, error) {
@@ -168,7 +207,7 @@ func Run(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault) ([]seqsim.
 	return results, err
 }
 
-// RunParallel is Run with the independent 63-fault batches distributed
+// RunParallel is Run with the independent 255-fault batches distributed
 // over up to `workers` goroutines. Results are identical to Run.
 func RunParallel(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, workers int) ([]seqsim.FaultResult, error) {
 	results, _, err := RunStats(c, T, faults, workers)
@@ -253,45 +292,135 @@ func (b *batch) run(T seqsim.Sequence, results []seqsim.FaultResult, st *Stats) 
 	// allFaults masks the occupied fault lanes; once every one is
 	// resolved the remaining frames cannot change any result (the serial
 	// simulator drops faults the same way).
-	var allFaults uint64
+	var allFaults, resolved laneSet
 	for k := range results {
-		allFaults |= 2 << uint(k)
+		allFaults.add(uint(k + 1))
 	}
-	resolved := uint64(0)
+	// Lanes above len(faults) are never occupied, so a partial batch
+	// (the tail of every fault list) evaluates only the words that hold
+	// lanes. Words at and above nw keep stale frame values; nothing
+	// below reads them — detection and the fold loops stop at nw, and
+	// the full-width state latch only carries them back into equally
+	// unread words.
+	const allBits = ^uint64(0)
+	nw := (len(results) + 1 + 63) >> 6
 	for u, pat := range T {
 		if len(pat) != cc.NumInputs() {
 			return fmt.Errorf("bitsim: pattern %d has %d values, circuit has %d inputs",
 				u, len(pat), cc.NumInputs())
 		}
 		for i, id := range cc.Inputs {
-			b.vals[id] = b.stems[id].apply(cir.Broadcast(pat[i]))
+			b.vals[id] = b.stems[id].apply(cir.Broadcast4(pat[i]))
 		}
 		for i, q := range cc.FFQ {
 			b.vals[q] = b.stems[q].apply(b.state[i])
 		}
+		// The gate fold is inlined over the live words — this loop is
+		// the hot core of the whole prescreen, and the shared VV4Fold's
+		// per-gate constructor and per-fanin call overhead dominate it
+		// otherwise. Branch-fault pins are patched into a local copy of
+		// the read value, mirroring batch.read.
+		var tmp VV
 		for _, gi := range cc.Order {
+			op := cc.Ops[gi]
+			lo, hi := cc.FaninStart[gi], cc.FaninStart[gi+1]
+			brs := b.branch[gi]
+			var one, zero [laneWords]uint64
+			switch op {
+			case logic.And, logic.Nand:
+				for w := 0; w < nw; w++ {
+					one[w] = allBits
+				}
+				for k := lo; k < hi; k++ {
+					in := &b.vals[cc.Fanin[k]]
+					if len(brs) != 0 {
+						in = readPin(brs, k-lo, in, &tmp)
+					}
+					for w := 0; w < nw; w++ {
+						one[w] &= in.One[w]
+						zero[w] |= in.Zero[w]
+					}
+				}
+			case logic.Xor, logic.Xnor:
+				for w := 0; w < nw; w++ {
+					zero[w] = allBits
+				}
+				for k := lo; k < hi; k++ {
+					in := &b.vals[cc.Fanin[k]]
+					if len(brs) != 0 {
+						in = readPin(brs, k-lo, in, &tmp)
+					}
+					for w := 0; w < nw; w++ {
+						o := one[w]&in.Zero[w] | zero[w]&in.One[w]
+						zero[w] = one[w]&in.One[w] | zero[w]&in.Zero[w]
+						one[w] = o
+					}
+				}
+			case logic.Const0:
+				for w := 0; w < nw; w++ {
+					zero[w] = allBits
+				}
+			case logic.Const1:
+				for w := 0; w < nw; w++ {
+					one[w] = allBits
+				}
+			default: // Or, Nor, Buf, Not: the or-fold
+				for w := 0; w < nw; w++ {
+					zero[w] = allBits
+				}
+				for k := lo; k < hi; k++ {
+					in := &b.vals[cc.Fanin[k]]
+					if len(brs) != 0 {
+						in = readPin(brs, k-lo, in, &tmp)
+					}
+					for w := 0; w < nw; w++ {
+						one[w] |= in.One[w]
+						zero[w] &= in.Zero[w]
+					}
+				}
+			}
 			out := cc.GOut[gi]
-			b.vals[out] = b.stems[out].apply(b.evalGate(gi))
+			v := &b.vals[out]
+			if op != logic.Const0 && op != logic.Const1 && op.Inverting() {
+				one, zero = zero, one
+			}
+			if st := &b.stems[out]; st.any {
+				for w := 0; w < nw; w++ {
+					mask := st.maskOne[w] | st.maskZero[w]
+					v.One[w] = one[w]&^mask | st.maskOne[w]
+					v.Zero[w] = zero[w]&^mask | st.maskZero[w]
+				}
+			} else {
+				for w := 0; w < nw; w++ {
+					v.One[w], v.Zero[w] = one[w], zero[w]
+				}
+			}
 		}
 		// Detections: lane 0 is the fault-free machine.
 		for j, id := range cc.Outputs {
 			v := b.vals[id]
-			var detected uint64
+			var mism *[laneWords]uint64
 			switch v.Lane(0) {
 			case logic.One:
-				detected = v.Zero
+				mism = &v.Zero
 			case logic.Zero:
-				detected = v.One
+				mism = &v.One
 			default:
 				continue
 			}
-			detected &^= resolved | 1
-			for detected != 0 {
-				k := uint(bits.TrailingZeros64(detected))
-				detected &^= 1 << k
-				resolved |= 1 << k
-				results[k-1].Detected = true
-				results[k-1].At = seqsim.Detection{Time: u, Output: j}
+			for w := 0; w < nw; w++ {
+				detected := mism[w] &^ resolved[w]
+				if w == 0 {
+					detected &^= 1 // lane 0 is the fault-free machine
+				}
+				for detected != 0 {
+					bit := uint(bits.TrailingZeros64(detected))
+					detected &^= 1 << bit
+					resolved[w] |= 1 << bit
+					k := uint(w)<<6 + bit
+					results[k-1].Detected = true
+					results[k-1].At = seqsim.Detection{Time: u, Output: j}
+				}
 			}
 		}
 		if resolved == allFaults {

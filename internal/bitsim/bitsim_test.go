@@ -86,12 +86,7 @@ func TestGateEvalMatchesScalar(t *testing.T) {
 			for k := 0; k < Lanes; k++ {
 				v := logic.Val(rng.Intn(3))
 				scalar[i][k] = v
-				switch v {
-				case logic.One:
-					vv.One |= 1 << uint(k)
-				case logic.Zero:
-					vv.Zero |= 1 << uint(k)
-				}
+				vv.SetLane(uint(k), v)
 			}
 			bt.vals[ins[i]] = vv
 		}
@@ -219,11 +214,11 @@ func TestRunS27AllFaults(t *testing.T) {
 	}
 }
 
-// TestManyBatches covers the multi-batch path (more than 63 faults).
+// TestManyBatches covers the multi-batch path (more than 255 faults).
 func TestManyBatches(t *testing.T) {
 	src := "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
 	prev := "a"
-	for i := 0; i < 40; i++ {
+	for i := 0; i < 120; i++ {
 		src += fmt.Sprintf("n%d = XOR(%s, b)\n", i, prev)
 		prev = fmt.Sprintf("n%d", i)
 	}
@@ -255,7 +250,7 @@ func TestManyBatches(t *testing.T) {
 }
 
 func TestBatches(t *testing.T) {
-	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 2, 126: 2, 127: 3}
+	cases := map[int]int{0: 0, 1: 1, 255: 1, 256: 2, 510: 2, 511: 3}
 	for n, want := range cases {
 		if got := Batches(n); got != want {
 			t.Errorf("Batches(%d) = %d, want %d", n, got, want)
@@ -278,7 +273,7 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	}
 	// Repeat the full list so several batches are needed.
 	var faults []fault.Fault
-	for i := 0; i < 4; i++ {
+	for i := 0; i < 16; i++ {
 		faults = append(faults, fault.List(c)...)
 	}
 	if Batches(len(faults)) < 2 {

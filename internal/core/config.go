@@ -79,7 +79,7 @@ type Config struct {
 	// selection criteria prefer anyway (N_out is non-increasing in time).
 	MaxPairs int
 	// Prescreen enables the batched bit-parallel conventional stage in
-	// Run and RunParallel: the whole fault list is first simulated 63
+	// Run and RunParallel: the whole fault list is first simulated 255
 	// faulty machines per word (internal/bitsim), faults detected
 	// conventionally are classified directly from the lane results, and
 	// only the survivors enter the per-fault MOT pipeline. Outcomes are
@@ -88,6 +88,16 @@ type Config struct {
 	// fallback and is asserted bit-identical by the prescreen tests.
 	// SimulateFault itself never prescreens.
 	Prescreen bool
+	// BitParallelResim enables the bit-parallel Section 3.4
+	// resimulation: all expanded sequences of a fault pack into the
+	// lanes of one 256-lane word and resimulate in a single
+	// region-confined vector pass per expansion (vresim.go), falling
+	// back to the serial path only when a sequence set exceeds the lane
+	// capacity. Outcomes are identical with it off (every sequence then
+	// resimulates serially); the off mode exists as a cross-check
+	// fallback and is asserted bit-identical by the resim cross-check
+	// tests.
+	BitParallelResim bool
 	// Reference selects the retained allocate-per-pair implementation of
 	// the pair-collection and expansion path: a fresh implication frame
 	// per pair side, map-backed sv sets, and freshly allocated sequences.
@@ -147,6 +157,7 @@ func DefaultConfig() Config {
 		BackwardDepth:           1,
 		MaxPairs:                4096,
 		Prescreen:               true,
+		BitParallelResim:        true,
 		Metrics:                 true,
 	}
 }

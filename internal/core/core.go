@@ -70,6 +70,11 @@ type Simulator struct {
 	// lastStages is the stage-time breakdown of the most recent
 	// SimulateFault call, consumed by the trace emitter.
 	lastStages StageNS
+	// lastResim summarizes the resimulation passes of the most recent
+	// SimulateFault call (vector passes, lanes packed, serial
+	// fallbacks), consumed by the trace emitter. Deterministic, unlike
+	// lastStages.
+	lastResim ResimTrace
 }
 
 // NewSimulator builds a simulator, running fault-free simulation of the
@@ -258,6 +263,7 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 // accumulator (a nil accumulator costs only the branch).
 func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 	out := FaultOutcome{Fault: f}
+	s.lastResim = ResimTrace{}
 	st := s.stats
 	var last time.Time
 	if st != nil {
@@ -316,7 +322,7 @@ func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 
 	// Section 3.4: resimulation after expansion.
 	out.Sequences = len(seqs)
-	detected = s.resimulate(&f, seqs, marks)
+	detected = s.resimulate(&f, bad, seqs, marks)
 	s.releaseSeqs(seqs)
 	st.tick(&last, stageResim)
 	if detected {
@@ -335,7 +341,7 @@ func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 		var retry FaultOutcome
 		seqs, marks = s.expand(s.trivialPairs(bad, nout), bad, nsv, nout, &retry)
 		st.tick(&last, stageExpand)
-		detected = s.resimulate(&f, seqs, marks)
+		detected = s.resimulate(&f, bad, seqs, marks)
 		nseq := len(seqs)
 		s.releaseSeqs(seqs)
 		st.tick(&last, stageResim)
@@ -641,6 +647,10 @@ func cloneStates(src [][]logic.Val) [][]logic.Val {
 // set of marked time units for resimulation.
 func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int, out *FaultOutcome) ([]*sequence, []bool) {
 	marks := s.marksScratch()
+	// Track which state variables this expansion assigns: they seed the
+	// bit-parallel resimulation's region closure and bound its lane-diff
+	// packing scan (vresim.go).
+	s.seedReset()
 	s0 := s.seqFromStates(bad.States)
 	seqs := []*sequence{s0}
 
@@ -666,6 +676,7 @@ func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int,
 			if s0.states[p.u][a.j] == logic.X {
 				s0.states[p.u][a.j] = a.v
 			}
+			s.seedAdd(a.j)
 		}
 		marks[p.u] = true
 	}
@@ -693,6 +704,9 @@ func (s *Simulator) expand(pairs []pairInfo, bad *seqsim.Trace, nsv, nout []int,
 		p := &pairs[best]
 		out.Counters.add(p.counters())
 		out.Expansions++
+		for _, j := range p.sv {
+			s.seedAdd(j)
+		}
 		marks[p.u] = true
 		grown := make([]*sequence, 0, 2*len(seqs))
 		for _, sq := range seqs {
@@ -784,7 +798,24 @@ func expandable(p *pairInfo, seqs []*sequence) bool {
 // until it is resolved by a detection or an infeasibility conflict, or
 // until no marked units remain. The fault is detected when every sequence
 // resolves.
-func (s *Simulator) resimulate(f *fault.Fault, seqs []*sequence, baseMarks []bool) bool {
+//
+// With Config.BitParallelResim every sequence rides one lane of a
+// 256-lane word and the whole set resimulates in one region-confined
+// vector pass (resimulateVV), byte-identical to the serial path below;
+// sequence sets beyond the lane capacity fall back to the serial path.
+// bad is the faulty-machine trace the sequences expanded from, and seqs
+// must come from the immediately preceding expand call (its assigned
+// state variables seed the vector pass's region).
+func (s *Simulator) resimulate(f *fault.Fault, bad *seqsim.Trace, seqs []*sequence, baseMarks []bool) bool {
+	if s.cfg.BitParallelResim {
+		if len(seqs) <= cir.Lanes4 {
+			return s.resimulateVV(f, bad, seqs, baseMarks)
+		}
+		if st := s.stats; st != nil {
+			st.resimSerialFallbacks++
+		}
+		s.lastResim.SerialFallbacks++
+	}
 	c := s.c
 	L := len(s.T)
 	// Pooled scratch: EvalFrame writes every node and the base marks are
@@ -924,6 +955,15 @@ type Stages struct {
 	// ImplyCalls counts in-frame implication runs (both sides of every
 	// collected pair plus deep-backward chasing).
 	ImplyCalls int64
+	// ResimVectorPasses counts bit-parallel resimulation passes — one per
+	// expansion resimulated under Config.BitParallelResim, portfolio
+	// retries included. ResimVectorFrames counts the time frames those
+	// passes evaluated (frames with no active lane are skipped and not
+	// counted). ResimSerialFallbacks counts expansions whose sequence
+	// set exceeded the 256-lane word and ran the serial path instead.
+	ResimVectorPasses    int64
+	ResimVectorFrames    int64
+	ResimSerialFallbacks int64
 	// MOTFaults counts the faults that entered the per-fault pipeline
 	// (everything the prescreen did not drop).
 	MOTFaults int
@@ -976,6 +1016,7 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 	s.publishPrescreen(res, false)
 	live := s.newLivePublisher()
 	traceTimes := s.traceTimes(len(faults))
+	traceResims := s.traceResims(len(faults))
 	motStart := time.Now()
 	for k, f := range faults {
 		if err := ctx.Err(); err != nil {
@@ -994,6 +1035,9 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 			if traceTimes != nil {
 				traceTimes[k] = s.lastStages
 			}
+			if traceResims != nil {
+				traceResims[k] = s.lastResim
+			}
 		}
 		live.observe(s, &o, entered)
 		res.tally(o)
@@ -1007,7 +1051,7 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 	if s.cfg.Metrics {
 		res.Stages.Sim.Merge(s.sim.Stats())
 	}
-	if err := s.writeTrace(res, traceTimes); err != nil {
+	if err := s.writeTrace(res, traceTimes, traceResims); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}
 	return res, nil
@@ -1065,6 +1109,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 	}
 	s.publishPrescreen(res, true)
 	traceTimes := s.traceTimes(len(faults))
+	traceResims := s.traceResims(len(faults))
 	motStart := time.Now()
 	outcomes := make([]FaultOutcome, len(faults))
 	// todo lists the fault indices that survived the prescreen and need
@@ -1146,6 +1191,9 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 					// Distinct index per fault: no write races between workers.
 					traceTimes[k] = worker.lastStages
 				}
+				if traceResims != nil {
+					traceResims[k] = worker.lastResim
+				}
 				if progress != nil {
 					mu.Lock()
 					count++
@@ -1171,7 +1219,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 			res.Stages.Sim.Merge(worker.sim.Stats())
 		}
 	}
-	if err := s.writeTrace(res, traceTimes); err != nil {
+	if err := s.writeTrace(res, traceTimes, traceResims); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}
 	return res, nil

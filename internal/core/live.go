@@ -49,6 +49,10 @@ type LiveStats struct {
 	implySampleNS atomic.Int64
 	implySamples  atomic.Int64
 
+	resimVectorPasses    atomic.Int64
+	resimVectorFrames    atomic.Int64
+	resimSerialFallbacks atomic.Int64
+
 	step0NS   atomic.Int64
 	collectNS atomic.Int64
 	expandNS  atomic.Int64
@@ -99,6 +103,10 @@ type LiveSnapshot struct {
 	// per worker, so the two estimates may differ slightly.
 	ImplyNS int64 `json:"imply_ns"`
 
+	ResimVectorPasses    int64 `json:"resim_vector_passes"`
+	ResimVectorFrames    int64 `json:"resim_vector_frames"`
+	ResimSerialFallbacks int64 `json:"resim_serial_fallbacks"`
+
 	Step0NS   int64 `json:"step0_ns"`
 	CollectNS int64 `json:"collect_ns"`
 	ExpandNS  int64 `json:"expand_ns"`
@@ -116,29 +124,32 @@ type LiveSnapshot struct {
 // goes backward between snapshots.
 func (l *LiveStats) Snapshot() LiveSnapshot {
 	s := LiveSnapshot{
-		RunsStarted:      l.runsStarted.Load(),
-		RunsDone:         l.runsDone.Load(),
-		FaultsTotal:      l.faultsTotal.Load(),
-		FaultsDone:       l.faultsDone.Load(),
-		Conv:             l.conv.Load(),
-		MOT:              l.mot.Load(),
-		PrunedConditionC: l.prunedC.Load(),
-		PrescreenPasses:  l.prescreenPasses.Load(),
-		PrescreenDropped: l.prescreenDropped.Load(),
-		PrescreenFrames:  l.prescreenFrames.Load(),
-		MOTFaults:        l.motFaults.Load(),
-		Pairs:            l.pairs.Load(),
-		Expansions:       l.expansions.Load(),
-		Sequences:        l.sequences.Load(),
-		ImplyCalls:       l.implyCalls.Load(),
-		Step0NS:          l.step0NS.Load(),
-		CollectNS:        l.collectNS.Load(),
-		ExpandNS:         l.expandNS.Load(),
-		ResimNS:          l.resimNS.Load(),
-		TotalNS:          l.totalNS.Load(),
-		DeltaFrames:      l.deltaFrames.Load(),
-		DeltaGateEvals:   l.deltaGateEvals.Load(),
-		FullFrames:       l.fullFrames.Load(),
+		RunsStarted:          l.runsStarted.Load(),
+		RunsDone:             l.runsDone.Load(),
+		FaultsTotal:          l.faultsTotal.Load(),
+		FaultsDone:           l.faultsDone.Load(),
+		Conv:                 l.conv.Load(),
+		MOT:                  l.mot.Load(),
+		PrunedConditionC:     l.prunedC.Load(),
+		PrescreenPasses:      l.prescreenPasses.Load(),
+		PrescreenDropped:     l.prescreenDropped.Load(),
+		PrescreenFrames:      l.prescreenFrames.Load(),
+		MOTFaults:            l.motFaults.Load(),
+		Pairs:                l.pairs.Load(),
+		Expansions:           l.expansions.Load(),
+		Sequences:            l.sequences.Load(),
+		ImplyCalls:           l.implyCalls.Load(),
+		ResimVectorPasses:    l.resimVectorPasses.Load(),
+		ResimVectorFrames:    l.resimVectorFrames.Load(),
+		ResimSerialFallbacks: l.resimSerialFallbacks.Load(),
+		Step0NS:              l.step0NS.Load(),
+		CollectNS:            l.collectNS.Load(),
+		ExpandNS:             l.expandNS.Load(),
+		ResimNS:              l.resimNS.Load(),
+		TotalNS:              l.totalNS.Load(),
+		DeltaFrames:          l.deltaFrames.Load(),
+		DeltaGateEvals:       l.deltaGateEvals.Load(),
+		FullFrames:           l.fullFrames.Load(),
 	}
 	if samples := l.implySamples.Load(); samples > 0 {
 		s.ImplyNS = l.implySampleNS.Load() * s.ImplyCalls / samples
@@ -209,6 +220,9 @@ type livePublisher struct {
 	lastImply     int64
 	lastImplyNS   int64
 	lastImplySmps int64
+	lastResimVP   int64
+	lastResimVF   int64
+	lastResimSF   int64
 	lastSim       seqsim.SimStats
 }
 
@@ -287,6 +301,10 @@ func (p *livePublisher) flush(s *Simulator) {
 		l.implySampleNS.Add(st.implySampleNS - p.lastImplyNS)
 		l.implySamples.Add(st.implySamples - p.lastImplySmps)
 		p.lastImply, p.lastImplyNS, p.lastImplySmps = st.implyCalls, st.implySampleNS, st.implySamples
+		l.resimVectorPasses.Add(st.resimVectorPasses - p.lastResimVP)
+		l.resimVectorFrames.Add(st.resimVectorFrames - p.lastResimVF)
+		l.resimSerialFallbacks.Add(st.resimSerialFallbacks - p.lastResimSF)
+		p.lastResimVP, p.lastResimVF, p.lastResimSF = st.resimVectorPasses, st.resimVectorFrames, st.resimSerialFallbacks
 
 		sim := s.sim.Stats()
 		l.deltaFrames.Add(sim.DeltaFrames - p.lastSim.DeltaFrames)

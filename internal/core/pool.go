@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 
+	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/implic"
 	"repro/internal/logic"
@@ -58,6 +59,25 @@ type simPools struct {
 	// Safe to recycle per fault: SimulateFault consumes it entirely before
 	// returning.
 	badTrace *seqsim.Trace
+
+	// Bit-parallel resimulation scratch (vresim.go). seedStamp/seedGen/
+	// seedFFs are the epoch-stamped set of state variables assigned by
+	// the current expand call — the Q-side seeds of the region closure.
+	seedStamp []int32
+	seedGen   int32
+	seedFFs   []int32
+	// region is the per-fault evaluation region, refilled per
+	// resimulation pass (the seed set differs per expansion).
+	region *cir.Region
+	// qPos maps an FF index to its position in region.QFFs.
+	qPos []int32
+	// vvVals, vvFlat/vvState and vvMarks are the vector frame's node
+	// values, the packed per-frame lane states ((L+1) rows carved from
+	// one slab) and the per-frame marked-lane masks.
+	vvVals  []cir.VV4
+	vvFlat  []cir.VV4
+	vvState [][]cir.VV4
+	vvMarks []laneMask
 }
 
 // runBad simulates the faulty machine for f, reusing the pooled trace.

@@ -53,6 +53,34 @@ func resimSetup(t *testing.T, L int) (*Simulator, fault.Fault, *seqsim.Trace) {
 	return s, f, bad
 }
 
+// testResimulate mirrors the expand/resimulate coupling for hand-built
+// sequences: it seeds the assigned state variables by diffing each
+// sequence against the base trace (as expand records them), then runs
+// the bit-parallel pass and the serial path and asserts they agree. The
+// vector pass runs first — the serial path refines sequence states in
+// place, the vector pass packs a copy.
+func testResimulate(t *testing.T, s *Simulator, f *fault.Fault, bad *seqsim.Trace, seqs []*sequence, marks []bool) bool {
+	t.Helper()
+	s.seedReset()
+	for _, sq := range seqs {
+		for u := range sq.states {
+			for j, v := range sq.states[u] {
+				if v != bad.States[u][j] {
+					s.seedAdd(j)
+				}
+			}
+		}
+	}
+	bp := s.resimulateVV(f, bad, seqs, marks)
+	s.cfg.BitParallelResim = false
+	serial := s.resimulate(f, bad, seqs, marks)
+	s.cfg.BitParallelResim = true
+	if bp != serial {
+		t.Fatalf("bit-parallel resimulate = %v, serial = %v", bp, serial)
+	}
+	return bp
+}
+
 // TestResimulateDetection: pinning q1 = 1 at time 0 must produce o1 = 1,
 // conflicting with the fault-free 0 — the sequence resolves by detection.
 func TestResimulateDetection(t *testing.T) {
@@ -61,7 +89,7 @@ func TestResimulateDetection(t *testing.T) {
 	sq.states[0][0] = logic.One
 	marks := make([]bool, 4)
 	marks[0] = true
-	if !s.resimulate(&f, []*sequence{sq}, marks) {
+	if !testResimulate(t, s, &f, bad, []*sequence{sq}, marks) {
 		t.Fatal("detection not found")
 	}
 }
@@ -75,7 +103,7 @@ func TestResimulatePropagatesForward(t *testing.T) {
 	sq.states[0][0] = logic.Zero
 	marks := make([]bool, 4)
 	marks[0] = true
-	if !s.resimulate(&f, []*sequence{sq}, marks) {
+	if !testResimulate(t, s, &f, bad, []*sequence{sq}, marks) {
 		t.Fatal("forward-propagated detection not found")
 	}
 }
@@ -95,7 +123,10 @@ func TestResimulateInfeasible(t *testing.T) {
 	sq.states[1][1] = logic.One
 	marks := make([]bool, 4)
 	marks[0] = true
-	if !s.resimulate(&f, []*sequence{sq}, marks) {
+	// Expansion marks every time unit it writes, so the hand-built
+	// assignment at time 1 marks that unit too.
+	marks[1] = true
+	if !testResimulate(t, s, &f, bad, []*sequence{sq}, marks) {
 		t.Fatal("sequence should resolve (infeasible or detected)")
 	}
 }
@@ -106,7 +137,7 @@ func TestResimulateSurvivor(t *testing.T) {
 	s, f, bad := resimSetup(t, 3)
 	sq := &sequence{states: cloneStates(bad.States)}
 	marks := make([]bool, 4)
-	if s.resimulate(&f, []*sequence{sq}, marks) {
+	if testResimulate(t, s, &f, bad, []*sequence{sq}, marks) {
 		t.Fatal("unmarked sequence should not resolve")
 	}
 }
@@ -122,7 +153,7 @@ func TestResimulateAllSequencesRequired(t *testing.T) {
 	marks[0] = true
 	// The surviving sequence has everything unspecified at its marked
 	// frame; simulation specifies nothing that conflicts, so it survives.
-	if s.resimulate(&f, []*sequence{det, surv}, marks) {
+	if testResimulate(t, s, &f, bad, []*sequence{det, surv}, marks) {
 		t.Fatal("survivor ignored")
 	}
 }

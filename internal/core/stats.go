@@ -93,7 +93,14 @@ type runStats struct {
 	implySampleNS int64
 	implySamples  int64
 	motFaults     int64
-	pool          PoolStats
+	// resimVectorPasses/resimVectorFrames count the bit-parallel
+	// resimulation passes and the frames they evaluated;
+	// resimSerialFallbacks the expansions that exceeded lane capacity
+	// and ran the serial path (see Stages).
+	resimVectorPasses    int64
+	resimVectorFrames    int64
+	resimSerialFallbacks int64
+	pool                 PoolStats
 }
 
 // stageField selects the accumulator tick targets.
@@ -158,6 +165,11 @@ type RunMetrics struct {
 	// that entered the per-fault pipeline — the share of the circuit
 	// faulty simulation actually visits per fault.
 	ConeGatesPerFault *metrics.Histogram
+	// ResimLanesPerPass is the distribution of lane occupancy (sequences
+	// packed per word) over bit-parallel resimulation passes — how full
+	// the 256-lane words run in practice. Empty when
+	// Config.BitParallelResim is off.
+	ResimLanesPerPass *metrics.Histogram
 }
 
 // newRunMetrics builds the run histograms with power-of-two bucket
@@ -169,6 +181,7 @@ func newRunMetrics() *RunMetrics {
 		SequencesAtStop:    metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
 		FaultTimeNS:        metrics.NewHistogram(metrics.ExpBounds(1024, 4, 14)...),
 		ConeGatesPerFault:  metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
+		ResimLanesPerPass:  metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
 	}
 }
 
@@ -210,6 +223,9 @@ func (st *Stages) mergeStats(rs *runStats) {
 		st.ImplyTime += time.Duration(rs.implySampleNS * rs.implyCalls / rs.implySamples)
 	}
 	st.ImplyCalls += rs.implyCalls
+	st.ResimVectorPasses += rs.resimVectorPasses
+	st.ResimVectorFrames += rs.resimVectorFrames
+	st.ResimSerialFallbacks += rs.resimSerialFallbacks
 	st.MOTFaults += int(rs.motFaults)
 	st.Pool.merge(rs.pool)
 }

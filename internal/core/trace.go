@@ -35,6 +35,10 @@ type TraceEvent struct {
 	// Identified marks Section 3.2 identifications (detected from the
 	// collected implication information alone, no expansion).
 	Identified bool `json:"identified,omitempty"`
+	// Resim summarizes the fault's resimulation passes (vector passes,
+	// lanes packed, serial fallbacks; see ResimTrace). Deterministic for
+	// a given configuration; omitted when the fault never resimulated.
+	Resim *ResimTrace `json:"resim,omitempty"`
 	// Timing is the per-fault stage breakdown in nanoseconds; only with
 	// Config.TraceTimings, and zero for prescreen-dropped faults (they
 	// never enter the per-fault pipeline).
@@ -42,7 +46,7 @@ type TraceEvent struct {
 }
 
 // traceEvent builds the trace line for one outcome.
-func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS) TraceEvent {
+func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS, resim *ResimTrace) TraceEvent {
 	ev := TraceEvent{
 		Fault:      o.Fault.Name(s.c),
 		Outcome:    o.Outcome.String(),
@@ -58,6 +62,9 @@ func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS) TraceEvent {
 	if o.Outcome == DetectedConventional {
 		ev.At = &TraceDetection{Time: o.At.Time, Output: o.At.Output}
 	}
+	if resim != nil && *resim != (ResimTrace{}) {
+		ev.Resim = resim
+	}
 	ev.Timing = timing
 	return ev
 }
@@ -65,8 +72,9 @@ func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS) TraceEvent {
 // writeTrace emits one JSONL event per fault to Config.TraceWriter, in
 // fault-list order. It runs after the fault loop completes — never from
 // worker goroutines — so the output is identical for any worker count.
-// traceTimes is indexed like res.Outcomes and may be nil (no timings).
-func (s *Simulator) writeTrace(res *Result, traceTimes []StageNS) error {
+// traceTimes and traceResims are indexed like res.Outcomes and may be
+// nil (no timings / no trace at all).
+func (s *Simulator) writeTrace(res *Result, traceTimes []StageNS, traceResims []ResimTrace) error {
 	if s.cfg.TraceWriter == nil {
 		return nil
 	}
@@ -76,7 +84,11 @@ func (s *Simulator) writeTrace(res *Result, traceTimes []StageNS) error {
 		if traceTimes != nil {
 			timing = &traceTimes[k]
 		}
-		ev := s.traceEvent(&res.Outcomes[k], timing)
+		var resim *ResimTrace
+		if traceResims != nil {
+			resim = &traceResims[k]
+		}
+		ev := s.traceEvent(&res.Outcomes[k], timing, resim)
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return err
@@ -98,4 +110,14 @@ func (s *Simulator) traceTimes(n int) []StageNS {
 		return nil
 	}
 	return make([]StageNS, n)
+}
+
+// traceResims allocates the per-fault resimulation-summary buffer when
+// a trace is requested. Unlike timings the content is deterministic, so
+// it rides along on every trace.
+func (s *Simulator) traceResims(n int) []ResimTrace {
+	if s.cfg.TraceWriter == nil {
+		return nil
+	}
+	return make([]ResimTrace, n)
 }

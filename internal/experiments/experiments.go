@@ -45,6 +45,11 @@ type Options struct {
 	// (on by default via core.DefaultConfig). Results are identical
 	// either way; disabling it exists for cross-checking and timing.
 	DisablePrescreen bool
+	// DisableBitParallelResim turns off the bit-parallel Section 3.4
+	// resimulation (on by default via core.DefaultConfig), forcing the
+	// serial per-sequence path. Results are identical either way;
+	// disabling it exists for cross-checking and timing.
+	DisableBitParallelResim bool
 	// Progress, when non-nil, receives per-fault progress.
 	Progress func(circuit string, done, total int)
 	// Live, when non-nil, receives coarse-cadence live snapshots from
@@ -64,6 +69,10 @@ func (o Options) configs() (core.Config, core.Config) {
 	if o.DisablePrescreen {
 		p.Prescreen = false
 		b.Prescreen = false
+	}
+	if o.DisableBitParallelResim {
+		p.BitParallelResim = false
+		b.BitParallelResim = false
 	}
 	p.Live = o.Live
 	b.Live = o.Live

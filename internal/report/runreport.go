@@ -55,10 +55,14 @@ type StagesReport struct {
 	ExpandNS  int64 `json:"expand_ns"`
 	ResimNS   int64 `json:"resim_ns"`
 
-	ImplyCalls int64           `json:"imply_calls"`
-	MOTFaults  int             `json:"mot_faults"`
-	Pool       core.PoolStats  `json:"pool"`
-	Sim        seqsim.SimStats `json:"sim"`
+	ImplyCalls           int64 `json:"imply_calls"`
+	ResimVectorPasses    int64 `json:"resim_vector_passes"`
+	ResimVectorFrames    int64 `json:"resim_vector_frames"`
+	ResimSerialFallbacks int64 `json:"resim_serial_fallbacks"`
+
+	MOTFaults int             `json:"mot_faults"`
+	Pool      core.PoolStats  `json:"pool"`
+	Sim       seqsim.SimStats `json:"sim"`
 }
 
 // HistogramsReport holds the per-fault distribution snapshots.
@@ -68,6 +72,7 @@ type HistogramsReport struct {
 	SequencesAtStop    metrics.Snapshot `json:"sequences_at_stop"`
 	FaultTimeNS        metrics.Snapshot `json:"fault_time_ns"`
 	ConeGatesPerFault  metrics.Snapshot `json:"cone_gates_per_fault"`
+	ResimLanesPerPass  metrics.Snapshot `json:"resim_lanes_per_pass"`
 }
 
 // NewRunReport builds the JSON summary from a run result.
@@ -102,6 +107,9 @@ func NewRunReport(res *core.Result, method string, patterns, workers int, elapse
 			ExpandNS:             int64(st.ExpandTime),
 			ResimNS:              int64(st.ResimTime),
 			ImplyCalls:           st.ImplyCalls,
+			ResimVectorPasses:    st.ResimVectorPasses,
+			ResimVectorFrames:    st.ResimVectorFrames,
+			ResimSerialFallbacks: st.ResimSerialFallbacks,
 			MOTFaults:            st.MOTFaults,
 			Pool:                 st.Pool,
 			Sim:                  st.Sim,
@@ -117,6 +125,7 @@ func NewRunReport(res *core.Result, method string, patterns, workers int, elapse
 			SequencesAtStop:    m.SequencesAtStop.Snapshot(),
 			FaultTimeNS:        m.FaultTimeNS.Snapshot(),
 			ConeGatesPerFault:  m.ConeGatesPerFault.Snapshot(),
+			ResimLanesPerPass:  m.ResimLanesPerPass.Snapshot(),
 		}
 	}
 	return r
@@ -165,6 +174,10 @@ func FormatRunStats(res *core.Result) string {
 	}
 	fmt.Fprintf(&sb, "    %-24s %12s\n", "total (CPU)", cpu.Round(time.Microsecond))
 	fmt.Fprintf(&sb, "  implication calls: %d\n", st.ImplyCalls)
+	if st.ResimVectorPasses > 0 || st.ResimSerialFallbacks > 0 {
+		fmt.Fprintf(&sb, "  bit-parallel resim: %d vector passes over %d frames, %d serial fallbacks\n",
+			st.ResimVectorPasses, st.ResimVectorFrames, st.ResimSerialFallbacks)
+	}
 	if st.PrescreenFrames > 0 {
 		fmt.Fprintf(&sb, "  prescreen frames: %d simulated, %d saved by early exit\n",
 			st.PrescreenFrames, st.PrescreenSavedFrames)
@@ -184,6 +197,9 @@ func FormatRunStats(res *core.Result) string {
 		fmt.Fprintf(&sb, "  expansions/fault: %s\n", m.ExpansionsPerFault.Snapshot())
 		fmt.Fprintf(&sb, "  sequences @stop:  %s\n", m.SequencesAtStop.Snapshot())
 		fmt.Fprintf(&sb, "  cone gates/fault: %s\n", m.ConeGatesPerFault.Snapshot())
+		if lanes := m.ResimLanesPerPass.Snapshot(); lanes.Count > 0 {
+			fmt.Fprintf(&sb, "  resim lanes/pass: %s\n", lanes)
+		}
 		fmt.Fprintf(&sb, "  fault time:       %s\n", m.FaultTimeNS.Snapshot().DurationString())
 	}
 	if res.Live != nil {
@@ -207,6 +223,8 @@ func FormatLiveSnapshot(s core.LiveSnapshot) string {
 		s.PrescreenPasses, s.PrescreenDropped, s.PrescreenFrames)
 	fmt.Fprintf(&sb, "    pipeline: %d faults, %d pairs, %d expansions, %d sequences, %d implication calls\n",
 		s.MOTFaults, s.Pairs, s.Expansions, s.Sequences, s.ImplyCalls)
+	fmt.Fprintf(&sb, "    bit-parallel resim: %d vector passes over %d frames, %d serial fallbacks\n",
+		s.ResimVectorPasses, s.ResimVectorFrames, s.ResimSerialFallbacks)
 	fmt.Fprintf(&sb, "    serial sim frames: %d delta (%d gate evals), %d full\n",
 		s.DeltaFrames, s.DeltaGateEvals, s.FullFrames)
 	fmt.Fprintf(&sb, "    stage seconds: step0=%.3f collect=%.3f (imply~%.3f) expand=%.3f resim=%.3f total=%.3f\n",

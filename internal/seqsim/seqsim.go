@@ -229,9 +229,12 @@ func EvalFrame(c *netlist.Circuit, pi Pattern, ps []logic.Val, f *fault.Fault, v
 
 // EvalFrame is the free EvalFrame on the simulator's compiled circuit,
 // reusing its gather scratch and performing no allocation. It does not
-// touch the work counters. Resimulation of expanded sequences goes
-// through here: an expanded sequence specifies arbitrary state variables,
-// so it cannot be confined to the active cone.
+// touch the work counters. The serial resimulation of expanded
+// sequences goes through here: an expanded sequence specifies arbitrary
+// state variables, so the frame cannot be confined to the fault's
+// active cone alone (the bit-parallel path instead confines itself to
+// the cir.Region closure of the fault site plus the assigned state
+// variables).
 func (s *Simulator) EvalFrame(pi Pattern, ps []logic.Val, f *fault.Fault, vals []logic.Val) {
 	s.ev.EvalFrame(pi, ps, f, vals)
 }

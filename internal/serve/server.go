@@ -145,6 +145,9 @@ func addSnapshots(a, b core.LiveSnapshot) core.LiveSnapshot {
 	a.Sequences += b.Sequences
 	a.ImplyCalls += b.ImplyCalls
 	a.ImplyNS += b.ImplyNS
+	a.ResimVectorPasses += b.ResimVectorPasses
+	a.ResimVectorFrames += b.ResimVectorFrames
+	a.ResimSerialFallbacks += b.ResimSerialFallbacks
 	a.Step0NS += b.Step0NS
 	a.CollectNS += b.CollectNS
 	a.ExpandNS += b.ExpandNS

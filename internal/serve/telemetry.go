@@ -57,6 +57,12 @@ var liveCounters = []struct {
 		func(s core.LiveSnapshot) int64 { return s.Sequences }},
 	{"imply_calls_total", "In-frame implication runs.", false,
 		func(s core.LiveSnapshot) int64 { return s.ImplyCalls }},
+	{"resim_vector_passes_total", "Bit-parallel resimulation vector passes.", false,
+		func(s core.LiveSnapshot) int64 { return s.ResimVectorPasses }},
+	{"resim_vector_frames_total", "Time frames evaluated by bit-parallel resimulation.", false,
+		func(s core.LiveSnapshot) int64 { return s.ResimVectorFrames }},
+	{"resim_serial_fallbacks_total", "Expansions that exceeded lane capacity and resimulated serially.", false,
+		func(s core.LiveSnapshot) int64 { return s.ResimSerialFallbacks }},
 	{"delta_frames_total", "Event-driven (delta) frames simulated by the serial engine.", false,
 		func(s core.LiveSnapshot) int64 { return s.DeltaFrames }},
 	{"delta_gate_evals_total", "Gate evaluations inside delta frames.", false,
@@ -118,6 +124,8 @@ func RegisterLiveHistograms(reg *metrics.Registry, prefix string, source func() 
 		func(m *core.RunMetrics) *metrics.Histogram { return m.SequencesAtStop })
 	hist("cone_gates_per_fault", "Active-cone sizes of pipeline faults.", 1,
 		func(m *core.RunMetrics) *metrics.Histogram { return m.ConeGatesPerFault })
+	hist("resim_lanes_per_pass", "Sequences packed per bit-parallel resimulation pass.", 1,
+		func(m *core.RunMetrics) *metrics.Histogram { return m.ResimLanesPerPass })
 	hist("fault_seconds", "Per-fault wall time.", 1e-9,
 		func(m *core.RunMetrics) *metrics.Histogram { return m.FaultTimeNS })
 }
