@@ -9,12 +9,13 @@ GO ?= go
 # cross-checks (pools must be per-worker, never shared), the bit-parallel
 # resimulation cross-checks (per-worker regions and lane scratch), the
 # shared compiled-IR reads in internal/cir, metric registry scrapes under
-# concurrent writers, the serve run registry, and the cross-run LRU
-# cache under concurrent submitters.
-RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server
-RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/metrics ./internal/serve ./internal/cache
+# concurrent writers, the serve run registry, the cross-run LRU cache
+# under concurrent submitters, and the xtrace span buffers (per-worker
+# writers merging into one tracer while exports/scrapes read it).
+RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server|Span
+RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/metrics ./internal/serve ./internal/cache ./internal/xtrace
 
-.PHONY: build test vet race verify bench bench-lite bench-collect benchdiff
+.PHONY: build test vet race verify bench bench-lite bench-collect benchdiff trace
 
 build:
 	$(GO) build ./...
@@ -40,6 +41,11 @@ bench:
 #   go run ./cmd/benchdiff -baseline BENCH_PR7.json benchdiff.out
 bench-lite:
 	$(GO) test -run xxx -bench 'Table2_sg298|LiveOverhead|ResimBitParallel' -benchmem -benchtime 2x -count 3 .
+
+# Sample span trace of a fully sampled sg298 run, loadable in
+# ui.perfetto.dev or chrome://tracing. CI uploads it as an artifact.
+trace:
+	$(GO) run ./cmd/motfsim -circuit sg298 -random 144 -workers 4 -span-trace sg298.trace.json -span-sample 1
 
 # Pair-collection and implication micro-benchmarks: pooled/trail path
 # against the retained allocate-per-pair reference.

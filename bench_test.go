@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/seqsim"
 	"repro/internal/tgen"
+	"repro/internal/xtrace"
 )
 
 // --- Figure 1: conventional three-valued simulation of s27 ---
@@ -458,6 +459,46 @@ func BenchmarkLiveOverhead(b *testing.B) {
 				}
 				if on && live.Snapshot().FaultsDone != int64(res.Total) {
 					b.Fatal("live snapshot incomplete after run")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSpanOverhead measures the cost of hierarchical span tracing
+// on the sg298 whole-list workload: Config.Tracer set at the default
+// 5% per-fault sampling rate against nil. The acceptance bar is a
+// tracing-on median within 5% of tracing-off.
+func BenchmarkSpanOverhead(b *testing.B) {
+	e, _ := circuits.SuiteEntryByName("sg298")
+	c := e.Build()
+	T := tgen.Random(c.NumInputs(), e.SeqLen, e.SeqSeed)
+	faults := fault.CollapsedList(c)
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig()
+				var tracer *xtrace.Tracer
+				if on {
+					tracer = xtrace.New(xtrace.Options{})
+					cfg.Tracer = tracer // TraceSampleRate 0 → default 0.05
+				}
+				sim, err := core.NewSimulator(c, T, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sim.Run(faults, nil); err != nil {
+					b.Fatal(err)
+				}
+				if on {
+					if st := tracer.Stats(); st.Spans == 0 || st.Dropped != 0 {
+						b.Fatalf("traced run recorded %d spans, dropped %d", st.Spans, st.Dropped)
+					}
 				}
 			}
 		})

@@ -47,6 +47,8 @@ type runOptions struct {
 	jsonOut            bool
 	tracePath          string
 	traceTimings       bool
+	spanTracePath      string
+	spanSample         float64
 	progress           bool
 	metricsAddr        string
 	prof               profiling.Options
@@ -74,6 +76,8 @@ func main() {
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the run summary as JSON instead of text")
 	flag.StringVar(&o.tracePath, "trace", "", "write a per-fault JSONL trace to this file")
 	flag.BoolVar(&o.traceTimings, "trace-timings", false, "add per-fault stage times to the trace (nondeterministic; requires -metrics)")
+	flag.StringVar(&o.spanTracePath, "span-trace", "", "write a hierarchical span trace (Chrome trace-event JSON, for ui.perfetto.dev) to this file")
+	flag.Float64Var(&o.spanSample, "span-sample", 0, "per-fault span sampling rate in [0,1] for -span-trace; 0 means the default 0.05")
 	flag.BoolVar(&o.progress, "progress", false, "print a progress line with rate and ETA to stderr")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics, /healthz and pprof on this address during the run")
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
@@ -216,6 +220,7 @@ func run(o runOptions) error {
 		return fmt.Errorf("need -vectors FILE, -random N, or -greedy")
 	}
 
+	o.prof.SpanTrace = o.spanTracePath
 	prof, err := profiling.Start(o.prof)
 	if err != nil {
 		return err
@@ -279,6 +284,14 @@ func run(o runOptions) error {
 	cfg.BitParallelResim = o.bpResim
 	cfg.Metrics = o.metrics
 	cfg.TraceTimings = o.traceTimings
+	if o.spanTracePath != "" {
+		// The span trace rides the profiling session: the tracer is bound
+		// here, the file is written once at prof.Stop.
+		tracer := motsim.NewTracer(motsim.TracerOptions{})
+		cfg.Tracer = tracer
+		cfg.TraceSampleRate = o.spanSample
+		prof.SetSpanWriter(tracer.WriteChromeTrace)
+	}
 	if o.tracePath != "" {
 		f, err := os.Create(o.tracePath)
 		if err != nil {

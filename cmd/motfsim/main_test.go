@@ -259,6 +259,51 @@ func TestRunTraceAndProfiles(t *testing.T) {
 	}
 }
 
+// TestRunSpanTrace runs with -span-trace at full sampling and checks
+// the output validates as Chrome trace-event JSON with the expected
+// span kinds.
+func TestRunSpanTrace(t *testing.T) {
+	var buf bytes.Buffer
+	o := opts()
+	o.workers = 2
+	o.spanTracePath = filepath.Join(t.TempDir(), "spans.trace.json")
+	o.spanSample = 1
+	o.out = &buf
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(o.spanTracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("span trace is not valid Chrome trace JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"run s27", "prescreen", "mot", "fault"} {
+		if !names[want] {
+			t.Errorf("span trace missing %q events", want)
+		}
+	}
+
+	// An out-of-range rate is rejected by config validation.
+	o = opts()
+	o.spanTracePath = filepath.Join(t.TempDir(), "never.json")
+	o.spanSample = -1
+	o.out = &bytes.Buffer{}
+	if err := run(o); err == nil {
+		t.Error("out-of-range -span-sample accepted")
+	}
+}
+
 func TestDumpVCD(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "w.vcd")

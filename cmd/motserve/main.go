@@ -10,8 +10,10 @@
 //	GET    /runs/{id}         status, stage breakdown, partial counts
 //	DELETE /runs/{id}         cancel a run
 //	GET    /runs/{id}/events  Server-Sent Events stream (progress, trace)
+//	GET    /runs/{id}/trace   span trace (Chrome trace-event JSON, for ui.perfetto.dev)
 //	GET    /metrics           Prometheus text exposition
 //	GET    /healthz           liveness probe
+//	GET    /debug/events      span flight recorder (recent spans as JSONL; ?n= bounds)
 //	GET    /debug/pprof/      runtime profiles
 //
 // Example session:
@@ -45,15 +47,20 @@ func main() {
 		cacheMiB = flag.Int64("cache-size", 256, "cross-run cache budget in MiB (compiled circuits and fault-free traces); 0 disables")
 		logJSON  = flag.Bool("log-json", false, "emit structured logs as JSON instead of text")
 		drainFor = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight runs")
+		traceSmp = flag.Float64("trace-sample", 0, "default per-fault span sampling rate in [0,1] for run tracers; 0 means 0.05 (requests may override)")
+		flightN  = flag.Int("flight-recorder", 4096, "size of the span flight recorder behind /debug/events")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxRuns, *maxConc, *cacheMiB, *logJSON, *drainFor); err != nil {
+	if err := run(*addr, *maxRuns, *maxConc, *cacheMiB, *logJSON, *drainFor, *traceSmp, *flightN); err != nil {
 		fmt.Fprintln(os.Stderr, "motserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxRuns, maxConc int, cacheMiB int64, logJSON bool, drainFor time.Duration) error {
+func run(addr string, maxRuns, maxConc int, cacheMiB int64, logJSON bool, drainFor time.Duration, traceSample float64, flightRecorder int) error {
+	if traceSample < 0 || traceSample > 1 {
+		return fmt.Errorf("-trace-sample must be in [0, 1], got %g", traceSample)
+	}
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if logJSON {
 		handler = slog.NewJSONHandler(os.Stderr, nil)
@@ -67,10 +74,12 @@ func run(addr string, maxRuns, maxConc int, cacheMiB int64, logJSON bool, drainF
 		cacheBytes = -1
 	}
 	s := serve.NewServer(serve.Config{
-		MaxConcurrent: maxConc,
-		MaxRuns:       maxRuns,
-		CacheBytes:    cacheBytes,
-		Logger:        log,
+		MaxConcurrent:  maxConc,
+		MaxRuns:        maxRuns,
+		CacheBytes:     cacheBytes,
+		Logger:         log,
+		TraceSample:    traceSample,
+		FlightRecorder: flightRecorder,
 	})
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
 

@@ -73,7 +73,7 @@ func submitAndWait(t *testing.T, base string, deadline time.Time) map[string]any
 func TestServeSubmitAndShutdown(t *testing.T) {
 	addr := freeAddr(t)
 	errCh := make(chan error, 1)
-	go func() { errCh <- run(addr, 8, 2, 64, true, 10*time.Second) }()
+	go func() { errCh <- run(addr, 8, 2, 64, true, 10*time.Second, 1, 256) }()
 
 	base := "http://" + addr
 	deadline := time.Now().Add(10 * time.Second)
@@ -94,6 +94,17 @@ func TestServeSubmitAndShutdown(t *testing.T) {
 	cacheInfo, _ := warm["cache"].(map[string]any)
 	if cacheInfo == nil || cacheInfo["circuit_hit"] != true || cacheInfo["trace_hit"] != true {
 		t.Errorf("repeat submission did not hit the cache: %v", warm["cache"])
+	}
+
+	// The span endpoints are live too (the server runs at sampling 1).
+	for _, path := range []string{"/runs/" + fmt.Sprint(warm["id"]) + "/trace", "/debug/events"} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if body := readAll(t, resp); resp.StatusCode != http.StatusOK || len(body) == 0 {
+			t.Errorf("GET %s = %d, %d bytes", path, resp.StatusCode, len(body))
+		}
 	}
 
 	mResp, err := http.Get(base + "/metrics")
@@ -140,7 +151,10 @@ func readAll(t *testing.T, resp *http.Response) string {
 
 // TestRunBadAddress asserts startup errors surface instead of hanging.
 func TestRunBadAddress(t *testing.T) {
-	if err := run("127.0.0.1:-7", 1, 1, 0, false, time.Second); err == nil {
+	if err := run("127.0.0.1:-7", 1, 1, 0, false, time.Second, 0, 0); err == nil {
 		t.Fatal("invalid address accepted")
+	}
+	if err := run("127.0.0.1:0", 1, 1, 0, false, time.Second, 1.5, 0); err == nil {
+		t.Fatal("out-of-range -trace-sample accepted")
 	}
 }

@@ -36,6 +36,8 @@ type runOptions struct {
 	worst     int
 	mot       bool
 	workers   int
+	spans     bool
+	top       int
 
 	out io.Writer // nil: os.Stdout
 }
@@ -50,6 +52,8 @@ func main() {
 	flag.IntVar(&o.worst, "worst", 5, "list the N hardest-to-observe nodes")
 	flag.BoolVar(&o.mot, "mot", false, "run the proposed MOT procedure and print the per-stage breakdown")
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines for the -mot run")
+	flag.BoolVar(&o.spans, "spans", false, "trace every fault of the -mot run and print the top-K stragglers by wall time")
+	flag.IntVar(&o.top, "top", 10, "straggler rows to print with -spans")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "motstats:", err)
@@ -168,6 +172,13 @@ func runMOT(o runOptions, c *motsim.Circuit) error {
 	// Publish live snapshots so the report's live section renders the
 	// same counters as the merged stats (asserted by the report tests).
 	cfg.Live = &motsim.LiveStats{}
+	var tracer *motsim.Tracer
+	if o.spans {
+		// Stragglers need every fault's wall time, so sample at 1.0.
+		tracer = motsim.NewTracer(motsim.TracerOptions{})
+		cfg.Tracer = tracer
+		cfg.TraceSampleRate = 1
+	}
 	s, err := motsim.New(c, T, cfg)
 	if err != nil {
 		return err
@@ -182,6 +193,10 @@ func runMOT(o runOptions, c *motsim.Circuit) error {
 		o.randomLen, o.workers, elapsed.Round(time.Millisecond),
 		res.Total, res.Conv, res.MOT, res.Total-res.Detected())
 	fmt.Fprint(o.out, report.FormatRunStats(res))
+	if tracer != nil {
+		spans, _ := tracer.Snapshot()
+		fmt.Fprint(o.out, report.FormatStragglers(spans, o.top))
+	}
 	return nil
 }
 

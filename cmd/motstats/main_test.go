@@ -94,3 +94,24 @@ func TestRunMOTBreakdown(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMOTSpans checks -spans appends the straggler table to the
+// -mot report.
+func TestRunMOTSpans(t *testing.T) {
+	o, buf := opts("sg208")
+	o.mot = true
+	o.randomLen = 24
+	o.workers = 2
+	o.spans = true
+	o.top = 5
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "traced faults by wall time") {
+		t.Fatalf("-spans output missing straggler table:\n%s", out)
+	}
+	if !strings.Contains(out, "outcome") || !strings.Contains(out, "pairs") {
+		t.Fatalf("straggler table missing columns:\n%s", out)
+	}
+}

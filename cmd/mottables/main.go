@@ -30,6 +30,7 @@ import (
 	"repro/internal/profiling"
 	"repro/internal/report"
 	"repro/internal/serve"
+	"repro/internal/xtrace"
 )
 
 // usageError marks invalid flag values; main reports them with exit
@@ -54,6 +55,7 @@ type runOptions struct {
 	prescreen    bool
 	bpResim      bool
 	metricsAddr  string
+	spanSample   float64
 	prof         profiling.Options
 
 	out  io.Writer // table output (nil: os.Stdout)
@@ -78,6 +80,8 @@ func main() {
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
 	flag.StringVar(&o.prof.ExecTrace, "exectrace", "", "write a runtime execution trace to this file")
+	flag.StringVar(&o.prof.SpanTrace, "span-trace", "", "write a hierarchical span trace of the suite run (Chrome trace-event JSON, for ui.perfetto.dev) to this file")
+	flag.Float64Var(&o.spanSample, "span-sample", 0, "per-fault span sampling rate in [0,1] for -span-trace; 0 means the default 0.05")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "mottables:", err)
@@ -156,6 +160,14 @@ func run(o runOptions) error {
 		return err
 	}
 	defer prof.Stop()
+	var tracer *xtrace.Tracer
+	if o.prof.SpanTrace != "" {
+		if o.spanSample < 0 || o.spanSample > 1 {
+			return usageError{fmt.Sprintf("-span-sample must be in [0, 1], got %g", o.spanSample)}
+		}
+		tracer = xtrace.New(xtrace.Options{})
+		prof.SetSpanWriter(tracer.WriteChromeTrace)
+	}
 
 	var names []string
 	if o.circuits != "" {
@@ -167,6 +179,8 @@ func run(o runOptions) error {
 		Workers:                 o.workers,
 		DisablePrescreen:        !o.prescreen,
 		DisableBitParallelResim: !o.bpResim,
+		Tracer:                  tracer,
+		TraceSampleRate:         o.spanSample,
 	}
 	if o.metricsAddr != "" {
 		reg, live := serve.NewRunTelemetry("mottables")

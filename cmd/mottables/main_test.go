@@ -94,6 +94,37 @@ func TestRunMetricsAddr(t *testing.T) {
 	}
 }
 
+// TestRunSpanTrace generates Table 2 with span tracing on and checks a
+// valid Chrome trace lands at the -span-trace path.
+func TestRunSpanTrace(t *testing.T) {
+	o := baseOpts("2")
+	o.prof.SpanTrace = filepath.Join(t.TempDir(), "suite.trace.json")
+	o.spanSample = 1
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.prof.SpanTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("span trace is not valid Chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) < 10 {
+		t.Fatalf("suspiciously small suite trace: %d events", len(doc.TraceEvents))
+	}
+
+	o = baseOpts("2")
+	o.prof.SpanTrace = filepath.Join(t.TempDir(), "never.json")
+	o.spanSample = 2
+	if err := run(o); err == nil || !errors.As(err, &usageError{}) {
+		t.Errorf("out-of-range -span-sample: err = %v, want usage error", err)
+	}
+}
+
 func TestRunTable3CSV(t *testing.T) {
 	out := tables(t, "3", true, 2, true)
 	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "sg208") {

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cir"
 	"repro/internal/fault"
+	"repro/internal/xtrace"
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/seqsim"
@@ -218,6 +219,20 @@ func RunParallel(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, wo
 // it simulates the whole list over up to `workers` goroutines and
 // additionally reports the work performed.
 func RunStats(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, workers int) ([]seqsim.FaultResult, Stats, error) {
+	return RunStatsTraced(c, T, faults, workers, Trace{})
+}
+
+// Trace carries the optional span instrumentation of a bit-parallel
+// run: each 255-fault batch becomes one span keyed by its batch index
+// (deterministic IDs regardless of worker count), parented under the
+// caller's prescreen-stage span. The zero Trace disables spans.
+type Trace struct {
+	Tracer *xtrace.Tracer
+	Parent xtrace.SpanID
+}
+
+// RunStatsTraced is RunStats with per-batch span instrumentation.
+func RunStatsTraced(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, workers int, tr Trace) ([]seqsim.FaultResult, Stats, error) {
 	var st Stats
 	nBatches := Batches(len(faults))
 	if workers > nBatches {
@@ -225,9 +240,15 @@ func RunStats(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, worke
 	}
 	results := make([]seqsim.FaultResult, len(faults))
 	if workers < 2 {
+		buf := tr.Tracer.NewTrack("prescreen")
+		defer buf.Flush()
 		for start := 0; start < len(faults); start += Lanes - 1 {
 			end := min(start+Lanes-1, len(faults))
-			if err := runGroup(c, T, faults[start:end], results[start:end], &st); err != nil {
+			sp := buf.Begin("batch", tr.Parent, uint64(start/(Lanes-1)))
+			buf.AttrInt(sp, "faults", int64(end-start))
+			err := runGroup(c, T, faults[start:end], results[start:end], &st)
+			buf.End(sp)
+			if err != nil {
 				return nil, st, err
 			}
 		}
@@ -242,6 +263,11 @@ func RunStats(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, worke
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			var buf *xtrace.Buffer
+			if tr.Tracer != nil {
+				buf = tr.Tracer.NewTrack(fmt.Sprintf("prescreen %02d", w))
+				defer buf.Flush()
+			}
 			for {
 				bi := int(atomic.AddInt64(&next, 1))
 				if bi >= nBatches {
@@ -249,7 +275,11 @@ func RunStats(c *netlist.Circuit, T seqsim.Sequence, faults []fault.Fault, worke
 				}
 				start := bi * (Lanes - 1)
 				end := min(start+Lanes-1, len(faults))
-				if err := runGroup(c, T, faults[start:end], results[start:end], &st); err != nil {
+				sp := buf.Begin("batch", tr.Parent, uint64(bi))
+				buf.AttrInt(sp, "faults", int64(end-start))
+				err := runGroup(c, T, faults[start:end], results[start:end], &st)
+				buf.End(sp)
+				if err != nil {
 					errs[w] = err
 					// Drain the pool: push the shared index past the end so
 					// idle workers stop claiming batches.

@@ -26,6 +26,8 @@ package core
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/xtrace"
 )
 
 // Schedule selects the implication schedule inside a time frame.
@@ -129,6 +131,24 @@ type Config struct {
 	// deterministic across runs; leave this off when traces are diffed.
 	// Requires Metrics.
 	TraceTimings bool
+	// Tracer, when non-nil, receives hierarchical spans from Run and
+	// RunParallel: a run span over the whole fault list, stage spans for
+	// the prescreen (with one span per bit-parallel batch) and the
+	// per-fault MOT stage, one span per parallel worker, and — for the
+	// faults selected by TraceSampleRate — a span per fault with
+	// expand/resim sub-spans. Span IDs derive from deterministic keys
+	// (fault index, batch index, stage name), so the span set, parent
+	// links and attributes are identical across worker counts; only
+	// timestamps and worker/track assignments are scheduling-dependent.
+	// Export with Tracer.WriteChromeTrace (Perfetto / chrome://tracing)
+	// or WriteJSONL. Nil (the default) keeps tracing entirely off the
+	// hot path.
+	Tracer *xtrace.Tracer
+	// TraceSampleRate is the fraction of faults that get per-fault spans,
+	// in [0, 1]; sampling is deterministic by fault index (xtrace.SampleAt),
+	// never random. Zero selects the default (0.05); 1 traces every
+	// fault. Ignored when Tracer is nil.
+	TraceSampleRate float64
 	// Live, when non-nil, receives coarse-cadence snapshots of the run
 	// while it executes: every worker folds its pending per-fault deltas
 	// into the shared LiveStats every LiveEvery faults, so an HTTP
@@ -186,6 +206,8 @@ func (cfg Config) Validate() error {
 		return fmt.Errorf("core: TraceTimings requires Metrics")
 	case cfg.LiveEvery < 0:
 		return fmt.Errorf("core: LiveEvery must be non-negative, got %d", cfg.LiveEvery)
+	case cfg.TraceSampleRate < 0 || cfg.TraceSampleRate > 1:
+		return fmt.Errorf("core: TraceSampleRate must be in [0, 1], got %v", cfg.TraceSampleRate)
 	}
 	return nil
 }

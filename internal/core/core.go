@@ -13,6 +13,7 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
 	"repro/internal/seqsim"
+	"repro/internal/xtrace"
 )
 
 // FaultOutcome is the result of simulating one fault.
@@ -75,6 +76,12 @@ type Simulator struct {
 	// fallbacks), consumed by the trace emitter. Deterministic, unlike
 	// lastStages.
 	lastResim ResimTrace
+	// tbuf/span carry the open span of the fault currently in
+	// SimulateFault (see span.go); span is 0 — and the sub-span hooks
+	// cost one comparison — when the fault is unsampled or tracing is
+	// off.
+	tbuf *xtrace.Buffer
+	span xtrace.SpanID
 }
 
 // NewSimulator builds a simulator, running fault-free simulation of the
@@ -317,12 +324,16 @@ func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 	}
 
 	// Section 3.3: state expansion (Procedure 2).
+	ph := s.beginPhase("expand", 0)
 	seqs, marks := s.expand(pairs, bad, nsv, nout, &out)
+	s.endPhase(ph)
 	st.tick(&last, stageExpand)
 
 	// Section 3.4: resimulation after expansion.
 	out.Sequences = len(seqs)
+	ph = s.beginPhase("resim", 0)
 	detected = s.resimulate(&f, bad, seqs, marks)
+	s.endPhase(ph)
 	s.releaseSeqs(seqs)
 	st.tick(&last, stageResim)
 	if detected {
@@ -339,9 +350,13 @@ func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 	// domination structural.
 	if s.cfg.UseBackwardImplications {
 		var retry FaultOutcome
+		ph = s.beginPhase("expand", 1)
 		seqs, marks = s.expand(s.trivialPairs(bad, nout), bad, nsv, nout, &retry)
+		s.endPhase(ph)
 		st.tick(&last, stageExpand)
+		ph = s.beginPhase("resim", 1)
 		detected = s.resimulate(&f, bad, seqs, marks)
+		s.endPhase(ph)
 		nseq := len(seqs)
 		s.releaseSeqs(seqs)
 		st.tick(&last, stageResim)
@@ -1009,7 +1024,8 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 	s.beginRun(res)
 	s.beginLive(len(faults))
 	defer s.cfg.Live.endLive()
-	pre, err := s.prescreen(faults, 1, res)
+	sc := s.beginRunSpans(len(faults))
+	pre, err := s.prescreen(faults, 1, res, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -1018,6 +1034,8 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 	traceTimes := s.traceTimes(len(faults))
 	traceResims := s.traceResims(len(faults))
 	motStart := time.Now()
+	sc.beginStage("mot")
+	ws := sc.worker(-1)
 	for k, f := range faults {
 		if err := ctx.Err(); err != nil {
 			live.flush(s)
@@ -1029,9 +1047,11 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 			o = FaultOutcome{Fault: f, Outcome: DetectedConventional, At: pre[k].At}
 		} else {
 			entered = true
+			ws.begin(s, k, f)
 			if o, err = s.SimulateFault(f); err != nil {
 				return nil, fmt.Errorf("core: fault %s: %w", f.Name(s.c), err)
 			}
+			ws.end(s, &o)
 			if traceTimes != nil {
 				traceTimes[k] = s.lastStages
 			}
@@ -1046,11 +1066,14 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 		}
 	}
 	live.flush(s)
+	ws.close()
+	sc.endStage()
 	res.Stages.MOTTime = time.Since(motStart)
 	res.Stages.mergeStats(s.stats)
 	if s.cfg.Metrics {
 		res.Stages.Sim.Merge(s.sim.Stats())
 	}
+	sc.finish(res)
 	if err := s.writeTrace(res, traceTimes, traceResims); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}
@@ -1103,7 +1126,8 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 	s.beginRun(res)
 	s.beginLive(len(faults))
 	defer s.cfg.Live.endLive()
-	pre, err := s.prescreen(faults, workers, res)
+	sc := s.beginRunSpans(len(faults))
+	pre, err := s.prescreen(faults, workers, res, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -1111,6 +1135,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 	traceTimes := s.traceTimes(len(faults))
 	traceResims := s.traceResims(len(faults))
 	motStart := time.Now()
+	sc.beginStage("mot")
 	outcomes := make([]FaultOutcome, len(faults))
 	// todo lists the fault indices that survived the prescreen and need
 	// the per-fault pipeline.
@@ -1163,6 +1188,8 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 			worker := workerSims[w]
 			live := worker.newLivePublisher()
 			defer live.flush(worker)
+			ws := sc.worker(w)
+			defer ws.close()
 			for {
 				t := int(atomic.AddInt64(&nextIdx, 1))
 				if t >= len(todo) || failed.Load() {
@@ -1175,7 +1202,9 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 					return
 				}
 				k := todo[t]
+				ws.begin(worker, k, faults[k])
 				o, err := worker.SimulateFault(faults[k])
+				ws.end(worker, &o)
 				if err != nil {
 					errs[w] = fmt.Errorf("core: fault %s: %w", faults[k].Name(s.c), err)
 					// Drain the pool promptly: flag the failure and push the
@@ -1204,6 +1233,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 		}(w)
 	}
 	wg.Wait()
+	sc.endStage()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -1219,6 +1249,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 			res.Stages.Sim.Merge(worker.sim.Stats())
 		}
 	}
+	sc.finish(res)
 	if err := s.writeTrace(res, traceTimes, traceResims); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}

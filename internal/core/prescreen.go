@@ -15,13 +15,18 @@ import (
 // entries carry the conventional detection site, identical to the serial
 // simulator's), or nil when the prescreen is disabled or there is
 // nothing to screen. Batches are distributed over up to `workers`
-// goroutines.
-func (s *Simulator) prescreen(faults []fault.Fault, workers int, res *Result) ([]seqsim.FaultResult, error) {
+// goroutines. With tracing on (sc non-nil) the stage gets a span under
+// the run span and every bit-parallel batch a span keyed by its batch
+// index.
+func (s *Simulator) prescreen(faults []fault.Fault, workers int, res *Result, sc *spanScope) ([]seqsim.FaultResult, error) {
 	if !s.cfg.Prescreen || len(faults) == 0 {
 		return nil, nil
 	}
 	start := time.Now()
-	pre, st, err := bitsim.RunStats(s.c, s.T, faults, workers)
+	preID := sc.beginStage("prescreen")
+	pre, st, err := bitsim.RunStatsTraced(s.c, s.T, faults, workers,
+		bitsim.Trace{Tracer: s.cfg.Tracer, Parent: preID})
+	sc.endStage()
 	if err != nil {
 		return nil, fmt.Errorf("core: prescreen: %w", err)
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/seqsim"
 	"repro/internal/tgen"
+	"repro/internal/xtrace"
 )
 
 // CircuitRun holds the results of running one suite circuit under both
@@ -56,6 +57,10 @@ type Options struct {
 	// every run of the experiment (all circuits and procedures publish
 	// into the one LiveStats), for -metrics-addr exposition.
 	Live *core.LiveStats
+	// Tracer, when non-nil, collects hierarchical spans from every run of
+	// the experiment at TraceSampleRate (see core.Config.Tracer).
+	Tracer          *xtrace.Tracer
+	TraceSampleRate float64
 }
 
 // configs derives the proposed and baseline configurations.
@@ -76,6 +81,10 @@ func (o Options) configs() (core.Config, core.Config) {
 	}
 	p.Live = o.Live
 	b.Live = o.Live
+	p.Tracer = o.Tracer
+	b.Tracer = o.Tracer
+	p.TraceSampleRate = o.TraceSampleRate
+	b.TraceSampleRate = o.TraceSampleRate
 	return p, b
 }
 

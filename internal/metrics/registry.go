@@ -8,6 +8,7 @@ import (
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -135,6 +136,10 @@ func (r *Registry) HistogramFunc(name, help string, scale float64, f func() Snap
 	r.register(&entry{name: name, help: help, typ: "histogram", hist: f, scale: scale})
 }
 
+// helpEscaper applies the exposition-format HELP escaping: backslashes
+// and line feeds would otherwise corrupt the line-oriented format.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
 // formatFloat renders a sample value the way Prometheus expects:
 // shortest representation, "+Inf" for infinity.
 func formatFloat(v float64) string {
@@ -157,7 +162,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.RUnlock()
 	for _, e := range entries {
 		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, helpEscaper.Replace(e.help)); err != nil {
 				return err
 			}
 		}

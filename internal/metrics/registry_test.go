@@ -109,8 +109,8 @@ func TestRegistryHandler(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
-		t.Errorf("Content-Type = %q", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Errorf("Content-Type = %q, want the 0.0.4 exposition type", ct)
 	}
 	var sb strings.Builder
 	sc := bufio.NewScanner(resp.Body)
@@ -119,6 +119,41 @@ func TestRegistryHandler(t *testing.T) {
 	}
 	if !strings.Contains(sb.String(), "one 1\n") {
 		t.Errorf("handler output missing counter:\n%s", sb.String())
+	}
+}
+
+// TestRegistryGoldenExposition pins the exact byte output of the text
+// exposition, including the HELP escaping of backslashes and newlines
+// the format requires — a scraper-visible contract, so any format drift
+// must show up as a diff here.
+func TestRegistryGoldenExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mot_requests_total", `Requests with a \ backslash
+and a newline.`).Add(5)
+	r.GaugeFunc("mot_depth", "", func() float64 { return 2 })
+	h := r.Histogram("mot_width", "Widths.", 1, 8)
+	h.Observe(1)
+	h.Observe(9)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# HELP mot_requests_total Requests with a \\ backslash\nand a newline.
+# TYPE mot_requests_total counter
+mot_requests_total 5
+# TYPE mot_depth gauge
+mot_depth 2
+# HELP mot_width Widths.
+# TYPE mot_width histogram
+mot_width_bucket{le="1"} 1
+mot_width_bucket{le="8"} 1
+mot_width_bucket{le="+Inf"} 2
+mot_width_sum 10
+mot_width_count 2
+`
+	if sb.String() != golden {
+		t.Errorf("exposition drifted from golden output:\n--- got ---\n%s--- want ---\n%s", sb.String(), golden)
 	}
 }
 

@@ -6,6 +6,7 @@ package profiling
 
 import (
 	"fmt"
+	"io"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
@@ -23,19 +24,36 @@ type Options struct {
 	MemProfile string
 	// ExecTrace receives a runtime execution trace covering Start..Stop.
 	ExecTrace string
+	// SpanTrace receives the application-level span trace (Chrome
+	// trace-event JSON) written by the writer installed with
+	// Session.SetSpanWriter. An empty path or a missing writer disables
+	// the output.
+	SpanTrace string
 }
 
 // Enabled reports whether any profiler is requested.
 func (o Options) Enabled() bool {
-	return o.CPUProfile != "" || o.MemProfile != "" || o.ExecTrace != ""
+	return o.CPUProfile != "" || o.MemProfile != "" || o.ExecTrace != "" || o.SpanTrace != ""
 }
 
 // Session is a running set of profilers; always call Stop (it is a
 // no-op for profilers that never started).
 type Session struct {
-	opts      Options
-	cpuFile   *os.File
-	traceFile *os.File
+	opts       Options
+	cpuFile    *os.File
+	traceFile  *os.File
+	spanWriter func(io.Writer) error
+}
+
+// SetSpanWriter installs the function Stop uses to serialize the span
+// trace into Options.SpanTrace — typically a Tracer's WriteChromeTrace
+// bound by the caller, which keeps this package decoupled from the
+// tracing implementation. Safe to call on a nil session (profiling
+// disabled) and before or after Start.
+func (s *Session) SetSpanWriter(f func(io.Writer) error) {
+	if s != nil {
+		s.spanWriter = f
+	}
 }
 
 // Start opens the requested profile outputs and starts the CPU profiler
@@ -93,6 +111,12 @@ func (s *Session) Stop() error {
 		}
 		s.traceFile = nil
 	}
+	if s.opts.SpanTrace != "" && s.spanWriter != nil {
+		if err := writeFile(s.opts.SpanTrace, s.spanWriter); err != nil && first == nil {
+			first = err
+		}
+		s.opts.SpanTrace = ""
+	}
 	if s.opts.MemProfile != "" {
 		f, err := os.Create(s.opts.MemProfile)
 		if err != nil {
@@ -111,6 +135,23 @@ func (s *Session) Stop() error {
 		s.opts.MemProfile = ""
 	}
 	return first
+}
+
+// writeFile creates path and streams write into it, joining errors.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	werr := write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("profiling: write span trace: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("profiling: %w", cerr)
+	}
+	return nil
 }
 
 // RegisterHTTP attaches the net/http/pprof handlers to mux under

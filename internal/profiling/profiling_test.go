@@ -1,6 +1,8 @@
 package profiling
 
 import (
+	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"testing"
@@ -56,6 +58,48 @@ func TestAllProfiles(t *testing.T) {
 			t.Errorf("%s is empty", p)
 		}
 	}
+}
+
+func TestSpanTrace(t *testing.T) {
+	dir := t.TempDir()
+	o := Options{SpanTrace: filepath.Join(dir, "spans.trace.json")}
+	if !o.Enabled() {
+		t.Fatal("span trace alone should enable profiling")
+	}
+	s, err := Start(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetSpanWriter(func(w io.Writer) error {
+		_, err := fmt.Fprint(w, `{"traceEvents":[]}`)
+		return err
+	})
+	if err := s.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(o.SpanTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"traceEvents":[]}` {
+		t.Errorf("span trace content = %q", b)
+	}
+
+	// No writer installed: the path is skipped without error.
+	s2, err := Start(Options{SpanTrace: filepath.Join(dir, "never.json")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "never.json")); !os.IsNotExist(err) {
+		t.Error("span trace written without a writer")
+	}
+
+	// Nil session tolerates SetSpanWriter.
+	var nilS *Session
+	nilS.SetSpanWriter(func(io.Writer) error { return nil })
 }
 
 func TestStartErrorCleansUp(t *testing.T) {

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/xtrace"
+)
+
+// FormatStragglers renders the top-k slowest "fault" spans of a traced
+// run as a table — the heavy tail of the per-fault cost distribution,
+// with each fault's outcome and pair/sequence counts alongside its
+// wall time. Spans other than fault spans are ignored; ties break by
+// fault index so the table is deterministic.
+func FormatStragglers(spans []xtrace.Span, k int) string {
+	var faults []xtrace.Span
+	for _, s := range spans {
+		if s.Name == "fault" && s.Dur >= 0 {
+			faults = append(faults, s)
+		}
+	}
+	if len(faults) == 0 {
+		return "no fault spans recorded (tracing off or zero sampling rate)\n"
+	}
+	sort.Slice(faults, func(i, j int) bool {
+		if faults[i].Dur != faults[j].Dur {
+			return faults[i].Dur > faults[j].Dur
+		}
+		return attrInt(faults[i], "k") < attrInt(faults[j], "k")
+	})
+	if k <= 0 {
+		k = 10
+	}
+	if k > len(faults) {
+		k = len(faults)
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "top %d of %d traced faults by wall time:\n", k, len(faults))
+	fmt.Fprintf(&sb, "%4s %-24s %8s %-12s %6s %6s %12s\n",
+		"rank", "fault", "k", "outcome", "pairs", "seqs", "time")
+	for i, s := range faults[:k] {
+		fmt.Fprintf(&sb, "%4d %-24s %8s %-12s %6s %6s %12s\n",
+			i+1, attr(s, "fault"), attr(s, "k"), attr(s, "outcome"),
+			attr(s, "pairs"), attr(s, "seqs"),
+			time.Duration(s.Dur).Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// attr fetches one span attribute by key, empty when absent.
+func attr(s xtrace.Span, key string) string {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+// attrInt parses an integer attribute, -1 when absent or malformed.
+func attrInt(s xtrace.Span, key string) int64 {
+	n, err := strconv.ParseInt(attr(s, key), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}

@@ -1,0 +1,70 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xtrace"
+)
+
+func faultSpan(name string, k int64, dur int64, outcome string) xtrace.Span {
+	return xtrace.Span{
+		Name: "fault", Dur: dur,
+		Attrs: []xtrace.Attr{
+			{Key: "k", Val: itoa(k)},
+			{Key: "fault", Val: name},
+			{Key: "outcome", Val: outcome},
+			{Key: "pairs", Val: "3"},
+			{Key: "seqs", Val: "1"},
+		},
+	}
+}
+
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFormatStragglers(t *testing.T) {
+	spans := []xtrace.Span{
+		{Name: "run s27", Dur: 100000},
+		faultSpan("G1/0", 0, 500, "conv"),
+		faultSpan("G2/1", 1, 9000, "mot"),
+		faultSpan("G3/0", 2, 7000, "undetected"),
+		faultSpan("G4/1", 3, 9000, "mot"), // ties with G2 on duration; k breaks it
+		{Name: "expand", Dur: 8000},
+	}
+	out := FormatStragglers(spans, 3)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header x2 + 3 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "top 3 of 4 traced faults") {
+		t.Errorf("bad header: %q", lines[0])
+	}
+	for i, wantFault := range []string{"G2/1", "G4/1", "G3/0"} {
+		if !strings.Contains(lines[2+i], wantFault) {
+			t.Errorf("rank %d = %q, want fault %s", i+1, lines[2+i], wantFault)
+		}
+	}
+	if !strings.Contains(lines[2], "mot") || !strings.Contains(lines[4], "undetected") {
+		t.Errorf("outcome column wrong:\n%s", out)
+	}
+
+	// k larger than the population clamps; empty input degrades politely.
+	if out := FormatStragglers(spans, 100); !strings.Contains(out, "top 4 of 4") {
+		t.Errorf("unclamped k: %s", out)
+	}
+	if out := FormatStragglers(nil, 5); !strings.Contains(out, "no fault spans") {
+		t.Errorf("empty input: %s", out)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/seqsim"
 	"repro/internal/tgen"
 	"repro/internal/vectors"
+	"repro/internal/xtrace"
 )
 
 // RunRequest is the body of POST /runs. Exactly one circuit source is
@@ -50,6 +51,9 @@ type RunRequest struct {
 	FullFaults bool `json:"full_faults,omitempty"`
 	// Trace streams the per-fault JSONL trace on the run's event feed.
 	Trace bool `json:"trace,omitempty"`
+	// TraceSample overrides the server's per-fault span sampling rate
+	// for this run, in [0, 1]; see GET /runs/{id}/trace.
+	TraceSample *float64 `json:"trace_sample,omitempty"`
 	// LiveEvery overrides the live-snapshot publication cadence.
 	LiveEvery int `json:"live_every,omitempty"`
 }
@@ -88,6 +92,7 @@ type Run struct {
 
 	live   *core.LiveStats
 	events *eventLog
+	tracer *xtrace.Tracer
 	cancel context.CancelFunc
 
 	mu       sync.Mutex
@@ -214,6 +219,13 @@ func (s *Server) buildRun(req RunRequest, now time.Time) (*Run, error) {
 		return nil, fmt.Errorf("live_every must be non-negative")
 	}
 	cfg.LiveEvery = req.LiveEvery
+	cfg.TraceSampleRate = s.cfg.TraceSample
+	if req.TraceSample != nil {
+		if *req.TraceSample < 0 || *req.TraceSample > 1 {
+			return nil, fmt.Errorf("trace_sample must be in [0, 1], got %g", *req.TraceSample)
+		}
+		cfg.TraceSampleRate = *req.TraceSample
+	}
 
 	workers := req.Workers
 	if workers <= 0 {
@@ -254,9 +266,11 @@ func (s *Server) buildRun(req RunRequest, now time.Time) (*Run, error) {
 		info:    info,
 		live:    &core.LiveStats{},
 		events:  newEventLog(),
+		tracer:  xtrace.New(xtrace.Options{Ring: s.ring}),
 		status:  StatusQueued,
 	}
 	r.cfg.Live = r.live
+	r.cfg.Tracer = r.tracer
 	if req.Trace {
 		r.cfg.TraceWriter = &lineWriter{log: r.events, name: "trace"}
 	}

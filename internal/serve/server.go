@@ -7,12 +7,14 @@ import (
 	"log/slog"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/profiling"
 	"repro/internal/report"
+	"repro/internal/xtrace"
 )
 
 // Config parameterizes a Server.
@@ -33,6 +35,14 @@ type Config struct {
 	Prefix string
 	// Logger receives structured request/run logs; default slog.Default.
 	Logger *slog.Logger
+	// TraceSample is the default per-fault span sampling rate for run
+	// tracers, in [0, 1] (see core.Config.TraceSampleRate); zero selects
+	// the core default (0.05). Requests may override it per run.
+	TraceSample float64
+	// FlightRecorder is the size of the shared span flight recorder
+	// behind GET /debug/events (HTTP request spans and all run spans
+	// feed it). Zero means 4096.
+	FlightRecorder int
 }
 
 // Server is the run registry plus its HTTP surface. Create with
@@ -47,6 +57,15 @@ type Server struct {
 	cache *runCache
 
 	sem chan struct{} // execution slots
+
+	// ring is the process-wide span flight recorder: the HTTP tracer and
+	// every per-run tracer feed it, so GET /debug/events shows recent
+	// activity across the whole server. tracer records one span per HTTP
+	// request on the httpTrack track.
+	ring      *xtrace.Ring
+	tracer    *xtrace.Tracer
+	httpTrack int32
+	reqSeq    atomic.Int64
 
 	mu     sync.Mutex
 	runs   map[string]*Run
@@ -78,13 +97,23 @@ func NewServer(cfg Config) *Server {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
-	s := &Server{
-		cfg:  cfg,
-		log:  cfg.Logger,
-		reg:  metrics.NewRegistry(),
-		sem:  make(chan struct{}, cfg.MaxConcurrent),
-		runs: make(map[string]*Run),
+	if cfg.FlightRecorder <= 0 {
+		cfg.FlightRecorder = 4096
 	}
+	if cfg.TraceSample < 0 || cfg.TraceSample > 1 {
+		cfg.TraceSample = 0 // core default
+	}
+	ring := xtrace.NewRing(cfg.FlightRecorder)
+	s := &Server{
+		cfg:    cfg,
+		log:    cfg.Logger,
+		reg:    metrics.NewRegistry(),
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		runs:   make(map[string]*Run),
+		ring:   ring,
+		tracer: xtrace.New(xtrace.Options{Ring: ring}),
+	}
+	s.httpTrack = s.tracer.RegisterTrack("http")
 	if cfg.CacheBytes > 0 {
 		s.cache = newRunCache(cfg.CacheBytes)
 	}
@@ -107,7 +136,28 @@ func NewServer(cfg Config) *Server {
 		func() int64 { return s.cache.stats().Evictions })
 	s.reg.GaugeFunc(cfg.Prefix+"_cache_bytes_total", "Accounted bytes resident in the cross-run cache.",
 		func() float64 { return float64(s.cache.stats().Bytes) })
+	s.reg.CounterFunc(cfg.Prefix+"_trace_spans_total",
+		"Spans recorded across the HTTP tracer and every run tracer.",
+		func() int64 { return s.spanStats().Spans })
+	s.reg.CounterFunc(cfg.Prefix+"_trace_spans_dropped_total",
+		"Spans discarded because a tracer's merged span store was full.",
+		func() int64 { return s.spanStats().Dropped })
 	return s
+}
+
+// spanStats sums span accounting over the HTTP tracer and every run
+// tracer. Runs are never removed from the registry, so both sums are
+// monotonic and sound to scrape as counters.
+func (s *Server) spanStats() xtrace.Stats {
+	sum := s.tracer.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.runs {
+		st := r.tracer.Stats()
+		sum.Spans += st.Spans
+		sum.Dropped += st.Dropped
+	}
+	return sum
 }
 
 // Registry exposes the server's metric registry (for tests and for
@@ -197,16 +247,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /runs/{id}", s.handleDelete)
 	mux.HandleFunc("GET /runs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	profiling.RegisterHTTP(mux)
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.httpRequests.Inc()
-		mux.ServeHTTP(w, r)
-	})
+	return s.withTelemetry(mux)
 }
 
 // handleCreate is POST /runs: validate, compile, register, and start
@@ -255,6 +304,11 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	s.order = append(s.order, id)
 	s.wg.Add(1)
 	s.mu.Unlock()
+
+	// The access-log middleware and API clients read the assigned ID
+	// from this header (the body carries it too, but the middleware
+	// never parses bodies).
+	w.Header().Set("X-Run-ID", id)
 
 	s.log.Info("run submitted", "run", id,
 		"circuit", run.circuit.Name, "method", run.method,

@@ -1,0 +1,128 @@
+package xtrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event object. Complete spans use
+// phase "X" (duration events); track names are attached with phase "M"
+// thread_name metadata so Perfetto shows one named row per track.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts,omitempty"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object form of the trace-event format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTraceEvents builds the Chrome trace-event list for a span set:
+// one metadata event naming each track plus one complete ("X") event
+// per span, sorted by (start, ID) so equal span sets serialize
+// identically. Span IDs and parent links ride in args as hex strings.
+func ChromeTraceEvents(spans []Span, tracks []string) []chromeEvent {
+	events := make([]chromeEvent, 0, len(spans)+len(tracks))
+	for i, label := range tracks {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: int32(i),
+			Args: map[string]any{"name": label},
+		})
+	}
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Start != sorted[j].Start {
+			return sorted[i].Start < sorted[j].Start
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	for _, s := range sorted {
+		args := map[string]any{"id": fmt.Sprintf("%016x", uint64(s.ID))}
+		if s.Parent != 0 {
+			args["parent"] = fmt.Sprintf("%016x", uint64(s.Parent))
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Val
+		}
+		dur := s.Dur
+		if dur < 0 { // span never ended; render as a point
+			dur = 0
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Ph: "X", PID: 1, TID: s.Track,
+			TS:   float64(s.Start) / 1e3,
+			Dur:  float64(dur) / 1e3,
+			Args: args,
+		})
+	}
+	return events
+}
+
+// WriteChromeTrace serializes spans as Chrome trace-event JSON, the
+// format ui.perfetto.dev and chrome://tracing load directly. Timestamps
+// and durations are microseconds relative to the tracer epoch; each
+// track renders as one named thread under a single process.
+func WriteChromeTrace(w io.Writer, spans []Span, tracks []string) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{
+		TraceEvents:     ChromeTraceEvents(spans, tracks),
+		DisplayTimeUnit: "ms",
+	})
+}
+
+// WriteChromeTrace exports the tracer's merged spans (see Snapshot) as
+// Chrome trace-event JSON. Safe to call mid-run: spans still sitting in
+// worker buffers are simply absent. Nil-safe (writes an empty trace).
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans, tracks := t.Snapshot()
+	return WriteChromeTrace(w, spans, tracks)
+}
+
+// jsonlSpan is the compact JSONL line form of a span.
+type jsonlSpan struct {
+	ID     string `json:"id"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name"`
+	Track  int32  `json:"track"`
+	Start  int64  `json:"start_ns"`
+	Dur    int64  `json:"dur_ns"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// WriteJSONL serializes spans one JSON object per line — the compact
+// form for ad-hoc tooling (jq) and the /debug/events dump.
+func WriteJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		line := jsonlSpan{
+			ID:    fmt.Sprintf("%016x", uint64(s.ID)),
+			Name:  s.Name,
+			Track: s.Track,
+			Start: s.Start,
+			Dur:   s.Dur,
+			Attrs: s.Attrs,
+		}
+		if s.Parent != 0 {
+			line.Parent = fmt.Sprintf("%016x", uint64(s.Parent))
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL exports the tracer's merged spans as JSONL. Nil-safe.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	spans, _ := t.Snapshot()
+	return WriteJSONL(w, spans)
+}

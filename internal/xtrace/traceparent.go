@@ -1,0 +1,59 @@
+package xtrace
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// W3C trace-context (traceparent) support: motserve accepts an incoming
+// traceparent header, parents its request span under the caller's span,
+// and emits a traceparent response header carrying the request span's
+// ID — the propagation hook the future distributed fault-shard workers
+// join so one coordinator trace covers every shard.
+
+// ParseTraceparent parses a W3C traceparent header value
+// ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>"). It returns
+// the trace ID, the parent span ID, and whether the header was valid.
+// Version "ff" and all-zero trace or parent IDs are rejected per spec.
+func ParseTraceparent(h string) (traceID string, parent SpanID, ok bool) {
+	parts := strings.Split(h, "-")
+	if len(parts) != 4 ||
+		len(parts[0]) != 2 || len(parts[1]) != 32 ||
+		len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return "", 0, false
+	}
+	if !isHex(parts[0]) || !isHex(parts[1]) || !isHex(parts[2]) || !isHex(parts[3]) {
+		return "", 0, false
+	}
+	if strings.EqualFold(parts[0], "ff") || parts[1] == strings.Repeat("0", 32) {
+		return "", 0, false
+	}
+	p, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil || p == 0 {
+		return "", 0, false
+	}
+	return strings.ToLower(parts[1]), SpanID(p), true
+}
+
+// FormatTraceparent renders a version-00 traceparent header for a span
+// within a trace, with the sampled flag set.
+func FormatTraceparent(traceID string, id SpanID) string {
+	return fmt.Sprintf("00-%s-%016x-01", traceID, uint64(id))
+}
+
+// NewTraceID derives a 32-hex-digit trace ID from a seed span ID, for
+// requests that arrive without a traceparent of their own.
+func NewTraceID(seed SpanID) string {
+	return fmt.Sprintf("%016x%016x", uint64(seed), uint64(DeriveID(seed, "trace", 0)))
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,430 @@
+// Package xtrace is a low-overhead hierarchical span tracer for the MOT
+// pipeline: begin/end spans with attributes and parent links, collected
+// into per-worker append-only buffers (no locks on the hot path) and
+// merged into one Tracer at flush points. Span IDs are deterministic
+// hashes of (parent, name, key), so the spans a run emits are stable
+// across worker counts even though their timestamps and track
+// assignments are not.
+//
+// A bounded flight-recorder ring keeps the most recent spans for
+// post-hoc inspection (GET /debug/events in motserve); exporters render
+// the merged spans as Chrome trace-event JSON (loadable in Perfetto or
+// chrome://tracing) or as compact JSONL (see export.go). The W3C
+// traceparent helpers in traceparent.go let HTTP surfaces join a span
+// tree that spans processes — the propagation hook the distributed
+// fault-shard workers will use.
+package xtrace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanID identifies a span. IDs are FNV-1a hashes of the parent ID, the
+// span name and a caller-chosen key (see DeriveID), so instrumentation
+// sites that pick deterministic keys (fault index, batch index, stage
+// name) emit the same IDs regardless of scheduling. IDs are not
+// guaranteed unique — they are stable labels for matching spans across
+// runs, not database keys.
+type SpanID uint64
+
+// Attr is one span attribute. Values are strings; use the AttrInt
+// helper on Buffer for integers.
+type Attr struct {
+	Key string `json:"k"`
+	Val string `json:"v"`
+}
+
+// Span is one completed span: a named interval on a track with a parent
+// link and optional attributes. Start is in nanoseconds since the
+// tracer's epoch (monotonic clock); Track indexes the tracer's track
+// table (one track per worker or surface).
+type Span struct {
+	ID     SpanID
+	Parent SpanID
+	Name   string
+	Track  int32
+	Start  int64
+	Dur    int64
+	Attrs  []Attr
+}
+
+// fnv-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// DeriveID computes the deterministic span ID for (parent, name, key):
+// an FNV-1a hash over the three, so the same logical span gets the same
+// ID in every run and under every worker count.
+func DeriveID(parent SpanID, name string, key uint64) SpanID {
+	h := uint64(fnvOffset)
+	for _, v := range [2]uint64{uint64(parent), key} {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	if h == 0 {
+		h = fnvOffset // 0 is the "no parent" sentinel
+	}
+	return SpanID(h)
+}
+
+// SampleAt reports whether item k of a sequence is sampled at the given
+// rate in (0, 1]: samples spread evenly over the index sequence and the
+// decision depends only on (rate, k), never on scheduling, so sampled
+// span sets are identical across worker counts. Rate 1 samples every
+// item; rates <= 0 sample none.
+func SampleAt(rate float64, k int) bool {
+	switch {
+	case rate >= 1:
+		return true
+	case rate <= 0:
+		return false
+	}
+	return int64(float64(k+1)*rate) > int64(float64(k)*rate)
+}
+
+// Ring is a bounded flight recorder of recent spans. It is safe for
+// concurrent use and may be shared between tracers (motserve feeds the
+// HTTP tracer and every per-run tracer into one ring so /debug/events
+// shows recent activity across the whole process).
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Span
+	next int
+	n    int64 // total puts
+}
+
+// NewRing returns a flight recorder retaining the last size spans
+// (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{buf: make([]Span, 0, size)}
+}
+
+// put appends spans, overwriting the oldest once full.
+func (r *Ring) put(spans []Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, s := range spans {
+		if len(r.buf) < cap(r.buf) {
+			r.buf = append(r.buf, s)
+		} else {
+			r.buf[r.next] = s
+		}
+		r.next = (r.next + 1) % cap(r.buf)
+		r.n++
+	}
+}
+
+// Recent returns up to max of the most recent spans, oldest first.
+// max <= 0 returns everything retained.
+func (r *Ring) Recent(max int) []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.buf)
+	out := make([]Span, 0, n)
+	if n == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	if len(out) < n { // buffer not yet wrapped
+		out = append(out[:0], r.buf[:n]...)
+	}
+	if max > 0 && len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Options parameterizes a Tracer.
+type Options struct {
+	// MaxSpans bounds the merged span store; spans flushed beyond the
+	// bound are counted as dropped (see Stats). Zero means 1<<18.
+	MaxSpans int
+	// FlightRecorder is the flight-recorder ring size; zero means 4096.
+	// Ignored when Ring is set.
+	FlightRecorder int
+	// Ring, when non-nil, is a shared flight recorder to feed instead of
+	// creating a private one.
+	Ring *Ring
+}
+
+// Stats is a tracer's span accounting.
+type Stats struct {
+	// Spans is the number of spans recorded (flight recorder included),
+	// monotonic. Dropped counts spans discarded because the merged store
+	// was full; they still reach the flight recorder.
+	Spans   int64 `json:"spans"`
+	Dropped int64 `json:"dropped"`
+}
+
+// Tracer collects spans from any number of tracks. The hot path (Begin,
+// End, attributes) touches only a per-worker Buffer; the tracer's lock
+// is taken at flush, record and export time.
+type Tracer struct {
+	epoch    time.Time
+	maxSpans int
+	ring     *Ring
+
+	recorded atomic.Int64
+	dropped  atomic.Int64
+
+	mu     sync.Mutex
+	spans  []Span
+	tracks []string
+}
+
+// New builds a tracer. The epoch (span time zero) is the moment of
+// construction.
+func New(o Options) *Tracer {
+	if o.MaxSpans <= 0 {
+		o.MaxSpans = 1 << 18
+	}
+	ring := o.Ring
+	if ring == nil {
+		size := o.FlightRecorder
+		if size <= 0 {
+			size = 4096
+		}
+		ring = NewRing(size)
+	}
+	return &Tracer{epoch: time.Now(), maxSpans: o.MaxSpans, ring: ring}
+}
+
+// now returns nanoseconds since the tracer epoch on the monotonic clock.
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// RegisterTrack names a new track and returns its index. Safe for
+// concurrent use.
+func (t *Tracer) RegisterTrack(label string) int32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tracks = append(t.tracks, label)
+	return int32(len(t.tracks) - 1)
+}
+
+// NewTrack registers a track and returns a Buffer writing to it. A nil
+// tracer returns a nil Buffer, whose methods are all no-ops, so
+// instrumented code needs no tracing-enabled branch of its own.
+func (t *Tracer) NewTrack(label string) *Buffer {
+	if t == nil {
+		return nil
+	}
+	return &Buffer{t: t, track: t.RegisterTrack(label)}
+}
+
+// Record appends one completed span directly, taking the tracer lock —
+// the path for low-rate spans with no natural buffer, like HTTP request
+// spans. Start/Dur must already be set (use Now for Start).
+func (t *Tracer) Record(s Span) {
+	if t == nil {
+		return
+	}
+	t.recorded.Add(1)
+	t.ring.put([]Span{s})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.maxSpans {
+		t.dropped.Add(1)
+		return
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Now returns the current span timestamp (ns since the tracer epoch),
+// for callers assembling spans by hand for Record.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Stats returns the tracer's span accounting. Nil-safe.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	return Stats{Spans: t.recorded.Load(), Dropped: t.dropped.Load()}
+}
+
+// Ring returns the tracer's flight recorder.
+func (t *Tracer) Ring() *Ring {
+	if t == nil {
+		return nil
+	}
+	return t.ring
+}
+
+// Snapshot copies the merged spans and the track label table. Safe to
+// call while buffers keep flushing; spans not yet flushed are absent.
+func (t *Tracer) Snapshot() (spans []Span, tracks []string) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...), append([]string(nil), t.tracks...)
+}
+
+// flushBatch is the completed-span count past which a buffer with no
+// open spans folds into the tracer on End, bounding both buffer growth
+// and the staleness of mid-run exports.
+const flushBatch = 64
+
+// Ref locates an open span within its Buffer. The zero Ref is invalid;
+// a Ref from a nil Buffer is accepted by every method as a no-op.
+type Ref int
+
+// Buffer is one track's append-only span buffer. It is owned by a
+// single goroutine: Begin/End/attribute calls touch only the slice (no
+// locks); Flush folds completed spans into the tracer. A nil *Buffer is
+// valid and records nothing.
+type Buffer struct {
+	t     *Tracer
+	track int32
+	spans []Span
+	open  int
+}
+
+// Tracer returns the tracer this buffer feeds (nil for a nil buffer).
+func (b *Buffer) Tracer() *Tracer {
+	if b == nil {
+		return nil
+	}
+	return b.t
+}
+
+// Track returns the buffer's track index (0 for a nil buffer).
+func (b *Buffer) Track() int32 {
+	if b == nil {
+		return 0
+	}
+	return b.track
+}
+
+// ID returns the span ID behind a Ref (0 for a nil buffer).
+func (b *Buffer) ID(ref Ref) SpanID {
+	if b == nil {
+		return 0
+	}
+	return b.spans[ref-1].ID
+}
+
+// Begin opens a span with the deterministic ID DeriveID(parent, name,
+// key) and returns its Ref. End it with End; attach attributes any time
+// in between.
+func (b *Buffer) Begin(name string, parent SpanID, key uint64) Ref {
+	if b == nil {
+		return 0
+	}
+	b.spans = append(b.spans, Span{
+		ID:     DeriveID(parent, name, key),
+		Parent: parent,
+		Name:   name,
+		Track:  b.track,
+		Start:  b.t.now(),
+		Dur:    -1,
+	})
+	b.open++
+	return Ref(len(b.spans))
+}
+
+// Attr attaches a string attribute to an open span.
+func (b *Buffer) Attr(ref Ref, key, val string) {
+	if b == nil {
+		return
+	}
+	s := &b.spans[ref-1]
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: val})
+}
+
+// AttrInt attaches an integer attribute to an open span.
+func (b *Buffer) AttrInt(ref Ref, key string, v int64) {
+	b.Attr(ref, key, itoa(v))
+}
+
+// End closes a span. When every span in the buffer is closed and the
+// buffer has grown past flushBatch, the completed spans fold into the
+// tracer so mid-run exports stay fresh.
+func (b *Buffer) End(ref Ref) {
+	if b == nil {
+		return
+	}
+	s := &b.spans[ref-1]
+	s.Dur = b.t.now() - s.Start
+	b.open--
+	if b.open == 0 && len(b.spans) >= flushBatch {
+		b.Flush()
+	}
+}
+
+// Flush folds the buffered spans into the tracer (merged store, bounded
+// by MaxSpans, plus the flight recorder) and resets the buffer. Call it
+// only with no open spans (Refs are invalidated); the owning goroutine
+// typically defers one Flush after ending its spans.
+func (b *Buffer) Flush() {
+	if b == nil || len(b.spans) == 0 {
+		return
+	}
+	t := b.t
+	t.recorded.Add(int64(len(b.spans)))
+	t.ring.put(b.spans)
+	t.mu.Lock()
+	room := t.maxSpans - len(t.spans)
+	if room > len(b.spans) {
+		room = len(b.spans)
+	}
+	if room > 0 {
+		// The buffer's backing array is reused after reset, so the spans
+		// must be copied out, not aliased.
+		t.spans = append(t.spans, b.spans[:room]...)
+	} else {
+		room = 0
+	}
+	t.mu.Unlock()
+	t.dropped.Add(int64(len(b.spans) - room))
+	b.spans = b.spans[:0]
+	b.open = 0
+}
+
+// itoa is strconv.AppendInt without the import weight at call sites.
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,326 @@
+package xtrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestDeriveIDDeterministic(t *testing.T) {
+	a := DeriveID(0, "run sg298", 0)
+	b := DeriveID(0, "run sg298", 0)
+	if a != b {
+		t.Fatalf("DeriveID not deterministic: %x vs %x", a, b)
+	}
+	if a == 0 {
+		t.Fatalf("DeriveID returned the no-parent sentinel 0")
+	}
+	if DeriveID(0, "run sg298", 1) == a {
+		t.Errorf("key change did not change the ID")
+	}
+	if DeriveID(0, "run sg641", 0) == a {
+		t.Errorf("name change did not change the ID")
+	}
+	if DeriveID(a, "run sg298", 0) == a {
+		t.Errorf("parent change did not change the ID")
+	}
+}
+
+func TestSampleAt(t *testing.T) {
+	for _, rate := range []float64{0.05, 0.1, 0.5, 1} {
+		n := 0
+		for k := 0; k < 10000; k++ {
+			if SampleAt(rate, k) {
+				n++
+			}
+		}
+		want := int(rate * 10000)
+		if n < want-1 || n > want+1 {
+			t.Errorf("rate %v sampled %d of 10000, want ~%d", rate, n, want)
+		}
+	}
+	if SampleAt(0, 3) || SampleAt(-1, 3) {
+		t.Errorf("non-positive rate sampled an item")
+	}
+	for k := 0; k < 100; k++ {
+		if !SampleAt(1, k) {
+			t.Fatalf("rate 1 skipped item %d", k)
+		}
+	}
+}
+
+func TestBufferSpans(t *testing.T) {
+	tr := New(Options{})
+	buf := tr.NewTrack("main")
+	run := buf.Begin("run", 0, 0)
+	runID := buf.ID(run)
+	child := buf.Begin("stage", runID, 1)
+	buf.Attr(child, "kind", "mot")
+	buf.AttrInt(child, "faults", 42)
+	buf.End(child)
+	buf.End(run)
+	buf.Flush()
+
+	spans, tracks := tr.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if len(tracks) != 1 || tracks[0] != "main" {
+		t.Fatalf("tracks = %v, want [main]", tracks)
+	}
+	if spans[0].ID != runID || spans[0].Parent != 0 {
+		t.Errorf("run span id/parent wrong: %+v", spans[0])
+	}
+	st := spans[1]
+	if st.Parent != runID {
+		t.Errorf("stage parent = %x, want %x", st.Parent, runID)
+	}
+	if st.Dur < 0 {
+		t.Errorf("stage span not ended: dur %d", st.Dur)
+	}
+	want := []Attr{{"kind", "mot"}, {"faults", "42"}}
+	if fmt.Sprint(st.Attrs) != fmt.Sprint(want) {
+		t.Errorf("attrs = %v, want %v", st.Attrs, want)
+	}
+	if s := tr.Stats(); s.Spans != 2 || s.Dropped != 0 {
+		t.Errorf("stats = %+v, want 2 spans 0 dropped", s)
+	}
+}
+
+func TestBufferAutoFlush(t *testing.T) {
+	tr := New(Options{})
+	buf := tr.NewTrack("w")
+	for i := 0; i < flushBatch+5; i++ {
+		buf.End(buf.Begin("fault", 7, uint64(i)))
+	}
+	spans, _ := tr.Snapshot()
+	if len(spans) < flushBatch {
+		t.Fatalf("auto-flush did not run: %d merged spans", len(spans))
+	}
+}
+
+func TestNilTracerAndBuffer(t *testing.T) {
+	var tr *Tracer
+	buf := tr.NewTrack("x")
+	if buf != nil {
+		t.Fatalf("nil tracer returned non-nil buffer")
+	}
+	ref := buf.Begin("a", 0, 0)
+	buf.Attr(ref, "k", "v")
+	buf.AttrInt(ref, "k", 1)
+	buf.End(ref)
+	buf.Flush()
+	if buf.ID(ref) != 0 {
+		t.Errorf("nil buffer ID != 0")
+	}
+	tr.Record(Span{})
+	if s := tr.Stats(); s != (Stats{}) {
+		t.Errorf("nil tracer stats = %+v", s)
+	}
+	if err := tr.WriteChromeTrace(&bytes.Buffer{}); err != nil {
+		t.Errorf("nil tracer export: %v", err)
+	}
+}
+
+func TestMaxSpansDrops(t *testing.T) {
+	tr := New(Options{MaxSpans: 10})
+	buf := tr.NewTrack("w")
+	for i := 0; i < 25; i++ {
+		buf.End(buf.Begin("s", 0, uint64(i)))
+	}
+	buf.Flush()
+	spans, _ := tr.Snapshot()
+	if len(spans) != 10 {
+		t.Fatalf("retained %d spans, want 10", len(spans))
+	}
+	st := tr.Stats()
+	if st.Spans != 25 || st.Dropped != 15 {
+		t.Fatalf("stats = %+v, want 25 recorded / 15 dropped", st)
+	}
+	// Dropped spans still reach the flight recorder.
+	if got := len(tr.Ring().Recent(0)); got != 25 {
+		t.Fatalf("ring holds %d spans, want 25", got)
+	}
+}
+
+func TestRingWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.put([]Span{{ID: SpanID(i + 1)}})
+	}
+	got := r.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("recent = %d spans, want 4", len(got))
+	}
+	for i, s := range got {
+		if want := SpanID(i + 7); s.ID != want {
+			t.Errorf("recent[%d].ID = %d, want %d", i, s.ID, want)
+		}
+	}
+	if got := r.Recent(2); len(got) != 2 || got[1].ID != 10 {
+		t.Errorf("Recent(2) = %v", got)
+	}
+}
+
+func TestSharedRing(t *testing.T) {
+	ring := NewRing(16)
+	a := New(Options{Ring: ring})
+	b := New(Options{Ring: ring})
+	a.Record(Span{ID: 1, Name: "http"})
+	buf := b.NewTrack("run")
+	buf.End(buf.Begin("fault", 0, 0))
+	buf.Flush()
+	if got := len(ring.Recent(0)); got != 2 {
+		t.Fatalf("shared ring holds %d spans, want 2", got)
+	}
+}
+
+func TestChromeTraceRoundTrip(t *testing.T) {
+	tr := New(Options{})
+	buf := tr.NewTrack("worker 00")
+	run := buf.Begin("run sg298", 0, 0)
+	f := buf.Begin("fault", buf.ID(run), 3)
+	buf.Attr(f, "fault", "g17 s-a-1")
+	buf.End(f)
+	buf.End(run)
+	buf.Flush()
+
+	var out bytes.Buffer
+	if err := tr.WriteChromeTrace(&out); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("round trip: %v\n%s", err, out.String())
+	}
+	if len(doc.TraceEvents) != 3 { // thread_name + 2 spans
+		t.Fatalf("got %d events, want 3", len(doc.TraceEvents))
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "thread_name" || meta.Args["name"] != "worker 00" {
+		t.Errorf("metadata event wrong: %+v", meta)
+	}
+	var sawFault bool
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Errorf("span event wrong phase/pid: %+v", ev)
+		}
+		if ev.Name == "fault" {
+			sawFault = true
+			if ev.Args["fault"] != "g17 s-a-1" {
+				t.Errorf("fault attrs missing: %v", ev.Args)
+			}
+			if _, ok := ev.Args["parent"]; !ok {
+				t.Errorf("fault span lost its parent link: %v", ev.Args)
+			}
+		}
+	}
+	if !sawFault {
+		t.Errorf("fault span missing from export")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := New(Options{})
+	buf := tr.NewTrack("w")
+	buf.End(buf.Begin("fault", 9, 1))
+	buf.Flush()
+	var out bytes.Buffer
+	if err := tr.WriteJSONL(&out); err != nil {
+		t.Fatalf("jsonl: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("got %d lines, want 1", len(lines))
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil {
+		t.Fatalf("line not JSON: %v", err)
+	}
+	if line["name"] != "fault" || line["parent"] != "0000000000000009" {
+		t.Errorf("line = %v", line)
+	}
+}
+
+func TestTraceparent(t *testing.T) {
+	traceID, parent, ok := ParseTraceparent("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	if !ok || traceID != "0af7651916cd43dd8448eb211c80319c" || parent != 0xb7ad6b7169203331 {
+		t.Fatalf("parse = %q %x %v", traceID, parent, ok)
+	}
+	hdr := FormatTraceparent(traceID, 0x1234)
+	if hdr != "00-0af7651916cd43dd8448eb211c80319c-0000000000001234-01" {
+		t.Fatalf("format = %q", hdr)
+	}
+	if _, _, ok := ParseTraceparent(hdr); !ok {
+		t.Fatalf("formatted header does not parse back")
+	}
+	bad := []string{
+		"",
+		"junk",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",                  // bad version
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01",                  // zero trace
+		"00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",                  // zero parent
+		"00-0af7651916cd43dd8448eb211c80319g-b7ad6b7169203331-01",                  // non-hex
+		"00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra-extra-ex-x", // wrong shape
+	}
+	for _, h := range bad {
+		if _, _, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted", h)
+		}
+	}
+	id := NewTraceID(42)
+	if len(id) != 32 || !isHex(id) {
+		t.Errorf("NewTraceID = %q", id)
+	}
+}
+
+// TestSpanMergeRace exercises concurrent worker-buffer flushes against
+// Record, Snapshot and both exporters — the pattern motserve hits when
+// /runs/{id}/trace is fetched while a run executes. Run under -race via
+// the Makefile race target.
+func TestSpanMergeRace(t *testing.T) {
+	ring := NewRing(128)
+	tr := New(Options{Ring: ring})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := tr.NewTrack(fmt.Sprintf("worker %d", w))
+			defer buf.Flush()
+			for i := 0; i < 500; i++ {
+				f := buf.Begin("fault", 1, uint64(i))
+				buf.End(buf.Begin("resim", buf.ID(f), 0))
+				buf.End(f)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			tr.Record(Span{ID: SpanID(i + 1), Name: "http"})
+			tr.WriteChromeTrace(&bytes.Buffer{})
+			tr.WriteJSONL(&bytes.Buffer{})
+			tr.Stats()
+			ring.Recent(10)
+		}
+	}()
+	wg.Wait()
+	if st := tr.Stats(); st.Spans != 4*500*2+200 {
+		t.Fatalf("recorded %d spans, want %d", st.Spans, 4*500*2+200)
+	}
+}

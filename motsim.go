@@ -47,6 +47,7 @@ import (
 	"repro/internal/tgen"
 	"repro/internal/vcd"
 	"repro/internal/vectors"
+	"repro/internal/xtrace"
 )
 
 // Core type aliases; see the respective packages for full documentation.
@@ -109,6 +110,14 @@ type (
 	SuiteEntry = circuits.SuiteEntry
 	// GreedyConfig controls the coverage-directed sequence generator.
 	GreedyConfig = tgen.GreedyConfig
+	// Tracer collects hierarchical spans of a run when set as
+	// Config.Tracer; export with its WriteChromeTrace / WriteJSONL.
+	Tracer = xtrace.Tracer
+	// TracerOptions sizes a Tracer (span cap, flight-recorder ring).
+	TracerOptions = xtrace.Options
+	// Span is one recorded span (deterministic ID, parent link, name,
+	// attributes, and scheduling-dependent track/timestamps).
+	Span = xtrace.Span
 )
 
 // Outcome codes.
@@ -136,6 +145,12 @@ const (
 // byte-identical regardless of worker count unless Config.TraceTimings
 // adds wall-clock stage timings to each event.
 func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewTracer builds a span tracer for Config.Tracer. The zero
+// TracerOptions selects the defaults (256k-span cap, 4096-span flight
+// recorder). Span IDs and parent links are deterministic across worker
+// counts; see Config.TraceSampleRate for the per-fault sampling rate.
+func NewTracer(opts TracerOptions) *Tracer { return xtrace.New(opts) }
 
 // BaselineConfig returns the configuration of the comparison procedure of
 // [4]: state expansion only, no backward implications.
