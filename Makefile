@@ -8,12 +8,14 @@ GO ?= go
 # RunParallel scheduling, the bit-parallel prescreen, the trail/pool
 # cross-checks (pools must be per-worker, never shared), the bit-parallel
 # resimulation cross-checks (per-worker regions and lane scratch), the
-# shared compiled-IR reads in internal/cir, metric registry scrapes under
-# concurrent writers, the serve run registry, the cross-run LRU cache
-# under concurrent submitters, and the xtrace span buffers (per-worker
-# writers merging into one tracer while exports/scrapes read it).
-RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server|Span
-RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/metrics ./internal/serve ./internal/cache ./internal/xtrace
+# event-driven evaluator cross-checks (per-worker EventEval scratch and
+# shared schedules), the shared compiled-IR reads in internal/cir,
+# metric registry scrapes under concurrent writers, the serve run
+# registry, the cross-run LRU cache under concurrent submitters, and the
+# xtrace span buffers (per-worker writers merging into one tracer while
+# exports/scrapes read it).
+RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server|Span|Event
+RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/seqsim ./internal/metrics ./internal/serve ./internal/cache ./internal/xtrace
 
 .PHONY: build test vet race verify bench bench-lite bench-collect benchdiff trace
 
@@ -38,7 +40,7 @@ bench:
 # Quick sg298-only slice of the whole-list benchmarks — the CI-sized
 # regression probe. Combine with benchdiff:
 #   make bench-lite | tee benchdiff.out
-#   go run ./cmd/benchdiff -baseline BENCH_PR7.json benchdiff.out
+#   go run ./cmd/benchdiff -baseline BENCH_PR9.json benchdiff.out
 bench-lite:
 	$(GO) test -run xxx -bench 'Table2_sg298|LiveOverhead|ResimBitParallel' -benchmem -benchtime 2x -count 3 .
 

@@ -42,6 +42,7 @@ type runOptions struct {
 	workers            int
 	prescreen          bool
 	bpResim            bool
+	eventSim           bool
 	coneOrder          bool
 	metrics            bool
 	jsonOut            bool
@@ -71,6 +72,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
 	flag.BoolVar(&o.prescreen, "prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
 	flag.BoolVar(&o.bpResim, "bp-resim", true, "bit-parallel expanded-sequence resimulation (one 256-lane pass per expansion)")
+	flag.BoolVar(&o.eventSim, "event-sim", true, "event-driven sparse-delta faulty-frame evaluation (off: level-order copy-and-propagate)")
 	flag.BoolVar(&o.coneOrder, "cone-order", false, "simulate faults in cone-locality order (deterministic; groups overlapping active cones)")
 	flag.BoolVar(&o.metrics, "metrics", true, "collect the per-stage breakdown and per-fault histograms")
 	flag.BoolVar(&o.jsonOut, "json", false, "emit the run summary as JSON instead of text")
@@ -282,6 +284,7 @@ func run(o runOptions) error {
 	cfg.NStates = max(1, o.nstates)
 	cfg.Prescreen = o.prescreen
 	cfg.BitParallelResim = o.bpResim
+	cfg.EventSim = o.eventSim
 	cfg.Metrics = o.metrics
 	cfg.TraceTimings = o.traceTimings
 	if o.spanTracePath != "" {

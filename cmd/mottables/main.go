@@ -54,6 +54,7 @@ type runOptions struct {
 	workers      int
 	prescreen    bool
 	bpResim      bool
+	eventSim     bool
 	metricsAddr  string
 	spanSample   float64
 	prof         profiling.Options
@@ -76,6 +77,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "fault-simulation worker goroutines (must be positive)")
 	flag.BoolVar(&o.prescreen, "prescreen", true, "bit-parallel conventional prescreen before the per-fault MOT pipeline")
 	flag.BoolVar(&o.bpResim, "bp-resim", true, "bit-parallel expanded-sequence resimulation (one 256-lane pass per expansion)")
+	flag.BoolVar(&o.eventSim, "event-sim", true, "event-driven sparse-delta faulty-frame evaluation (off: level-order copy-and-propagate)")
 	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve live Prometheus metrics, /healthz and pprof on this address during the suite run")
 	flag.StringVar(&o.prof.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
 	flag.StringVar(&o.prof.MemProfile, "memprofile", "", "write a pprof heap profile to this file")
@@ -179,6 +181,7 @@ func run(o runOptions) error {
 		Workers:                 o.workers,
 		DisablePrescreen:        !o.prescreen,
 		DisableBitParallelResim: !o.bpResim,
+		DisableEventSim:         !o.eventSim,
 		Tracer:                  tracer,
 		TraceSampleRate:         o.spanSample,
 	}

@@ -97,6 +97,10 @@ type CC struct {
 	// derived from Ops/GOut/FaninStart in Compile.
 	meta []gateMeta
 
+	// fullSched is the whole-circuit event schedule (see event.go),
+	// derived from the level buckets in Compile.
+	fullSched Sched
+
 	// Per-site active-cone cache (see ConeOf): one slot per possible stem
 	// site (node) and branch site (reading gate), filled lazily under
 	// coneMu using the shared scratch cone and read lock-free thereafter.
@@ -226,6 +230,17 @@ func Compile(c *netlist.Circuit) *CC {
 			pos += counts[l]
 		}
 	}
+	// Whole-circuit event schedule: one bucket per occupied level,
+	// derived from the same level buckets.
+	off := int32(0)
+	cc.fullSched.Off = append(cc.fullSched.Off, 0)
+	for l := int32(1); l <= cc.MaxLevel; l++ {
+		if n := cc.LevelStart[l+1] - cc.LevelStart[l]; n > 0 {
+			cc.fullSched.Levels = append(cc.fullSched.Levels, l)
+			off += n
+			cc.fullSched.Off = append(cc.fullSched.Off, off)
+		}
+	}
 	return cc
 }
 
@@ -288,6 +303,7 @@ func (cc *CC) MemSize() int64 {
 		int64(len(cc.Inputs)+len(cc.Outputs)+len(cc.FFQ)+len(cc.FFD))*int64(unsafe.Sizeof(netlist.NodeID(0))) +
 		int64(len(cc.FFInit)) +
 		int64(len(cc.meta))*int64(unsafe.Sizeof(gateMeta{})) +
+		cc.fullSched.memSize() +
 		int64(len(cc.conesNode)+len(cc.conesGate))*int64(unsafe.Sizeof(atomic.Pointer[Cone]{}))
 	for i := range cc.conesNode {
 		n += cc.conesNode[i].Load().memSize()
@@ -303,14 +319,18 @@ func (cc *CC) MemSize() int64 {
 // checks; helpers that accept nil substitute it.
 var NoFault = fault.Fault{Node: netlist.NoNode, Gate: netlist.NoGate}
 
-// evalLUT1/evalLUT2 cache logic.Eval over every (operator, input)
-// combination for one- and two-input gates — the bulk of real netlists —
-// so the hot path is a table load instead of the controlling-value scan.
-// The tables are derived from logic.Eval at init: a cache of the single
-// semantics home, not a second implementation.
+// evalLUT1..evalLUT4 cache logic.Eval over every (operator, input)
+// combination for one- to four-input gates — effectively all of a real
+// netlist — so the hot paths (the level walk and the event-queue drain)
+// are a base-3-indexed table load instead of the controlling-value
+// scan, and never reach logic.Eval for common gates. The tables are
+// derived from logic.Eval at init: a cache of the single semantics
+// home, not a second implementation.
 var (
 	evalLUT1 [logic.Const1 + 1][3]logic.Val
 	evalLUT2 [logic.Const1 + 1][9]logic.Val
+	evalLUT3 [logic.Const1 + 1][27]logic.Val
+	evalLUT4 [logic.Const1 + 1][81]logic.Val
 )
 
 func init() {
@@ -319,6 +339,14 @@ func init() {
 			evalLUT1[op][a] = logic.Eval(op, []logic.Val{a})
 			for b := logic.Zero; b <= logic.X; b++ {
 				evalLUT2[op][int(a)*3+int(b)] = logic.Eval(op, []logic.Val{a, b})
+				for c := logic.Zero; c <= logic.X; c++ {
+					evalLUT3[op][(int(a)*3+int(b))*3+int(c)] =
+						logic.Eval(op, []logic.Val{a, b, c})
+					for d := logic.Zero; d <= logic.X; d++ {
+						evalLUT4[op][((int(a)*3+int(b))*3+int(c))*3+int(d)] =
+							logic.Eval(op, []logic.Val{a, b, c, d})
+					}
+				}
 			}
 		}
 	}
@@ -333,6 +361,10 @@ func EvalOp(op logic.Op, in []logic.Val) logic.Val {
 		return evalLUT2[op][int(in[0])*3+int(in[1])]
 	case 1:
 		return evalLUT1[op][in[0]]
+	case 3:
+		return evalLUT3[op][(int(in[0])*3+int(in[1]))*3+int(in[2])]
+	case 4:
+		return evalLUT4[op][((int(in[0])*3+int(in[1]))*3+int(in[2]))*3+int(in[3])]
 	}
 	return logic.Eval(op, in)
 }

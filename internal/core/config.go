@@ -100,6 +100,17 @@ type Config struct {
 	// fallback and is asserted bit-identical by the resim cross-check
 	// tests.
 	BitParallelResim bool
+	// EventSim enables the event-driven sparse-delta frame evaluator
+	// (cir.EventEval): faulty frames seed events at the fault site and
+	// the changed present-state lines, visit only gates whose inputs
+	// changed, and store only divergent values in an epoch-stamped
+	// overlay — eliminating the per-frame whole-circuit copy of the
+	// level-order cone walk. Outcomes, JSONL traces and per-fault
+	// counters are byte-identical with it off (every frame then takes
+	// the retained level-order path); the off mode exists as a
+	// cross-check fallback and is asserted bit-identical by the
+	// event-sim cross-check and fuzz tests.
+	EventSim bool
 	// Reference selects the retained allocate-per-pair implementation of
 	// the pair-collection and expansion path: a fresh implication frame
 	// per pair side, map-backed sv sets, and freshly allocated sequences.
@@ -178,6 +189,7 @@ func DefaultConfig() Config {
 		MaxPairs:                4096,
 		Prescreen:               true,
 		BitParallelResim:        true,
+		EventSim:                true,
 		Metrics:                 true,
 	}
 }

@@ -76,6 +76,13 @@ type Simulator struct {
 	// fallbacks), consumed by the trace emitter. Deterministic, unlike
 	// lastStages.
 	lastResim ResimTrace
+	// lastEvents summarizes the step-0 frame-evaluation work of the most
+	// recent SimulateFault call (frames, events, gate evaluations),
+	// consumed by the trace emitter and span attributes. The counters are
+	// evaluator-invariant: the event-driven and level-order paths visit
+	// the same gates and change the same nodes, so the summary is
+	// byte-identical across Config.EventSim settings and worker counts.
+	lastEvents SimTrace
 	// tbuf/span carry the open span of the fault currently in
 	// SimulateFault (see span.go); span is 0 — and the sub-span hooks
 	// cost one comparison — when the fault is unsampled or tracing is
@@ -126,6 +133,7 @@ func NewSimulatorWarm(c *netlist.Circuit, T seqsim.Sequence, cfg Config, w Warm)
 		return nil, fmt.Errorf("core: warm CC was compiled from a different circuit")
 	}
 	sim := seqsim.NewCompiled(cc)
+	sim.SetEventSim(cfg.EventSim)
 	good := w.Good
 	switch {
 	case good == nil:
@@ -278,7 +286,9 @@ func (s *Simulator) simulateFault(f fault.Fault) (FaultOutcome, error) {
 	}
 
 	// Step 0: conventional fault simulation with fault dropping.
+	simBefore := s.sim.Stats()
 	bad, at, detected, err := s.runBad(f)
+	s.lastEvents = simTraceDelta(simBefore, s.sim.Stats())
 	if err != nil {
 		return out, err
 	}
@@ -831,6 +841,9 @@ func (s *Simulator) resimulate(f *fault.Fault, bad *seqsim.Trace, seqs []*sequen
 		}
 		s.lastResim.SerialFallbacks++
 	}
+	if s.cfg.EventSim && bad.Nodes != nil {
+		return s.resimulateSparse(f, bad, seqs, baseMarks)
+	}
 	c := s.c
 	L := len(s.T)
 	// Pooled scratch: EvalFrame writes every node and the base marks are
@@ -862,6 +875,64 @@ func (s *Simulator) resimulate(f *fault.Fault, bad *seqsim.Trace, seqs []*sequen
 			next := sq.states[u+1]
 			for j, ff := range c.FFs {
 				v := f.Observed(ff.Q, vals[ff.D])
+				if !v.IsBinary() {
+					continue
+				}
+				switch next[j] {
+				case logic.X:
+					next[j] = v
+					marks[u+1] = true
+				case v:
+					// consistent
+				default:
+					resolved = true // infeasible state sequence
+				}
+				if resolved {
+					break
+				}
+			}
+		}
+		if !resolved {
+			return false
+		}
+	}
+	return true
+}
+
+// resimulateSparse is resimulate's serial loop on the event-driven
+// sparse evaluator: each marked frame is evaluated as an
+// EvalFrameSparse overlay over the retained step-0 faulty-trace row
+// instead of a dense EvalFrame, so per-frame work scales with the
+// expansion's divergence from the base trace rather than with circuit
+// size. Outcomes are byte-identical to the dense loop (asserted by the
+// event-sim cross-check tests). Caller guarantees bad retains node
+// values.
+func (s *Simulator) resimulateSparse(f *fault.Fault, bad *seqsim.Trace, seqs []*sequence, baseMarks []bool) bool {
+	c := s.c
+	L := len(s.T)
+	marks := s.resimMarksScratch()
+	for _, sq := range seqs {
+		copy(marks, baseMarks)
+		resolved := false
+		for u := 0; u < L && !resolved; u++ {
+			if !marks[u] {
+				continue
+			}
+			fr := s.sim.EvalFrameSparse(sq.states[u], bad.Nodes[u], f)
+			g := s.good.Outputs[u]
+			for j, id := range c.Outputs {
+				v := fr.Read(id)
+				if v.IsBinary() && g[j].IsBinary() && v != g[j] {
+					resolved = true
+					break
+				}
+			}
+			if resolved {
+				break
+			}
+			next := sq.states[u+1]
+			for j, ff := range c.FFs {
+				v := f.Observed(ff.Q, fr.Read(ff.D))
 				if !v.IsBinary() {
 					continue
 				}
@@ -1033,6 +1104,7 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 	live := s.newLivePublisher()
 	traceTimes := s.traceTimes(len(faults))
 	traceResims := s.traceResims(len(faults))
+	traceSims := s.traceSims(len(faults))
 	motStart := time.Now()
 	sc.beginStage("mot")
 	ws := sc.worker(-1)
@@ -1058,6 +1130,9 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 			if traceResims != nil {
 				traceResims[k] = s.lastResim
 			}
+			if traceSims != nil {
+				traceSims[k] = s.lastEvents
+			}
 		}
 		live.observe(s, &o, entered)
 		res.tally(o)
@@ -1068,13 +1143,14 @@ func (s *Simulator) RunContext(ctx context.Context, faults []fault.Fault, progre
 	live.flush(s)
 	ws.close()
 	sc.endStage()
+	s.sim.FlushFrameHists()
 	res.Stages.MOTTime = time.Since(motStart)
 	res.Stages.mergeStats(s.stats)
 	if s.cfg.Metrics {
 		res.Stages.Sim.Merge(s.sim.Stats())
 	}
 	sc.finish(res)
-	if err := s.writeTrace(res, traceTimes, traceResims); err != nil {
+	if err := s.writeTrace(res, traceTimes, traceResims, traceSims); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}
 	return res, nil
@@ -1134,6 +1210,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 	s.publishPrescreen(res, true)
 	traceTimes := s.traceTimes(len(faults))
 	traceResims := s.traceResims(len(faults))
+	traceSims := s.traceSims(len(faults))
 	motStart := time.Now()
 	sc.beginStage("mot")
 	outcomes := make([]FaultOutcome, len(faults))
@@ -1169,6 +1246,10 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 			sim:  seqsim.NewCompiled(s.cc),
 			hist: s.hist,
 		}
+		worker.sim.SetEventSim(s.cfg.EventSim)
+		if s.hist != nil {
+			worker.sim.SetFrameHists(s.hist.EventsPerFrame, s.hist.GatesVisitedPerFrame)
+		}
 		if s.cfg.Metrics {
 			worker.stats = &runStats{}
 		}
@@ -1188,6 +1269,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 			worker := workerSims[w]
 			live := worker.newLivePublisher()
 			defer live.flush(worker)
+			defer worker.sim.FlushFrameHists()
 			ws := sc.worker(w)
 			defer ws.close()
 			for {
@@ -1223,6 +1305,9 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 				if traceResims != nil {
 					traceResims[k] = worker.lastResim
 				}
+				if traceSims != nil {
+					traceSims[k] = worker.lastEvents
+				}
 				if progress != nil {
 					mu.Lock()
 					count++
@@ -1250,7 +1335,7 @@ func (s *Simulator) RunParallelContext(ctx context.Context, faults []fault.Fault
 		}
 	}
 	sc.finish(res)
-	if err := s.writeTrace(res, traceTimes, traceResims); err != nil {
+	if err := s.writeTrace(res, traceTimes, traceResims, traceSims); err != nil {
 		return nil, fmt.Errorf("core: trace: %w", err)
 	}
 	return res, nil

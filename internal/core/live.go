@@ -62,6 +62,9 @@ type LiveStats struct {
 	deltaFrames    atomic.Int64
 	deltaGateEvals atomic.Int64
 	fullFrames     atomic.Int64
+	eventFrames    atomic.Int64
+	eventGateEvals atomic.Int64
+	events         atomic.Int64
 
 	// metrics publishes the current run's shared per-fault histograms
 	// (concurrency-safe, observed directly by workers) so a scraper can
@@ -116,6 +119,9 @@ type LiveSnapshot struct {
 	DeltaFrames    int64 `json:"delta_frames"`
 	DeltaGateEvals int64 `json:"delta_gate_evals"`
 	FullFrames     int64 `json:"full_frames"`
+	EventFrames    int64 `json:"event_frames"`
+	EventGateEvals int64 `json:"event_gate_evals"`
+	Events         int64 `json:"events"`
 }
 
 // Snapshot copies the current state. Individual fields are read with
@@ -150,6 +156,9 @@ func (l *LiveStats) Snapshot() LiveSnapshot {
 		DeltaFrames:          l.deltaFrames.Load(),
 		DeltaGateEvals:       l.deltaGateEvals.Load(),
 		FullFrames:           l.fullFrames.Load(),
+		EventFrames:          l.eventFrames.Load(),
+		EventGateEvals:       l.eventGateEvals.Load(),
+		Events:               l.events.Load(),
 	}
 	if samples := l.implySamples.Load(); samples > 0 {
 		s.ImplyNS = l.implySampleNS.Load() * s.ImplyCalls / samples
@@ -310,6 +319,9 @@ func (p *livePublisher) flush(s *Simulator) {
 		l.deltaFrames.Add(sim.DeltaFrames - p.lastSim.DeltaFrames)
 		l.deltaGateEvals.Add(sim.DeltaGateEvals - p.lastSim.DeltaGateEvals)
 		l.fullFrames.Add(sim.FullFrames - p.lastSim.FullFrames)
+		l.eventFrames.Add(sim.EventFrames - p.lastSim.EventFrames)
+		l.eventGateEvals.Add(sim.EventGateEvals - p.lastSim.EventGateEvals)
+		l.events.Add(sim.Events - p.lastSim.Events)
 		p.lastSim = sim
 	}
 }

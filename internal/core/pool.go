@@ -310,3 +310,18 @@ func (s *Simulator) resimScratch() ([]logic.Val, []bool) {
 	}
 	return s.pools.resimVals[:nNodes], s.pools.resimMarks[:nMarks]
 }
+
+// resimMarksScratch returns only the marks buffer, for the sparse
+// resimulation path (resimulateSparse): frame values live in the event
+// evaluator's overlay, so the dense node-value buffer is never
+// allocated there.
+func (s *Simulator) resimMarksScratch() []bool {
+	nMarks := len(s.T) + 1
+	if s.cfg.Reference {
+		return make([]bool, nMarks)
+	}
+	if cap(s.pools.resimMarks) < nMarks {
+		s.pools.resimMarks = make([]bool, nMarks)
+	}
+	return s.pools.resimMarks[:nMarks]
+}

@@ -158,6 +158,9 @@ func (ws *workerSpans) end(s *Simulator, o *FaultOutcome) {
 	ws.buf.Attr(ws.fref, "outcome", o.Outcome.String())
 	ws.buf.AttrInt(ws.fref, "pairs", int64(o.Pairs))
 	ws.buf.AttrInt(ws.fref, "seqs", int64(o.Sequences))
+	ws.buf.AttrInt(ws.fref, "sim_frames", s.lastEvents.Frames)
+	ws.buf.AttrInt(ws.fref, "sim_events", s.lastEvents.Events)
+	ws.buf.AttrInt(ws.fref, "sim_gate_evals", s.lastEvents.GateEvals)
 	ws.buf.End(ws.fref)
 	s.tbuf, s.span = nil, 0
 }

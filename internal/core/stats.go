@@ -170,18 +170,30 @@ type RunMetrics struct {
 	// the 256-lane words run in practice. Empty when
 	// Config.BitParallelResim is off.
 	ResimLanesPerPass *metrics.Histogram
+	// EventsPerFrame is the distribution of node value changes (events)
+	// per event-driven sparse frame — how little of the circuit a faulty
+	// frame actually perturbs. Empty when Config.EventSim is off (the
+	// level-order path does not observe per-frame distributions).
+	EventsPerFrame *metrics.Histogram
+	// GatesVisitedPerFrame is the distribution of gate evaluations per
+	// event-driven sparse frame — the work left after event confinement,
+	// versus the cone sizes in ConeGatesPerFault. Empty when
+	// Config.EventSim is off.
+	GatesVisitedPerFrame *metrics.Histogram
 }
 
 // newRunMetrics builds the run histograms with power-of-two bucket
 // layouts sized for the suite circuits.
 func newRunMetrics() *RunMetrics {
 	return &RunMetrics{
-		PairsPerFault:      metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
-		ExpansionsPerFault: metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
-		SequencesAtStop:    metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
-		FaultTimeNS:        metrics.NewHistogram(metrics.ExpBounds(1024, 4, 14)...),
-		ConeGatesPerFault:  metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
-		ResimLanesPerPass:  metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
+		PairsPerFault:        metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
+		ExpansionsPerFault:   metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
+		SequencesAtStop:      metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
+		FaultTimeNS:          metrics.NewHistogram(metrics.ExpBounds(1024, 4, 14)...),
+		ConeGatesPerFault:    metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
+		ResimLanesPerPass:    metrics.NewHistogram(metrics.ExpBounds(1, 2, 10)...),
+		EventsPerFrame:       metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
+		GatesVisitedPerFrame: metrics.NewHistogram(metrics.ExpBounds(1, 2, 14)...),
 	}
 }
 
@@ -201,12 +213,14 @@ func (m *RunMetrics) observeFault(o *FaultOutcome, totalNS, coneGates int64) {
 func (s *Simulator) beginRun(res *Result) {
 	if !s.cfg.Metrics {
 		s.stats, s.hist = nil, nil
+		s.sim.SetFrameHists(nil, nil)
 		return
 	}
 	s.stats = &runStats{}
 	s.hist = newRunMetrics()
 	res.Metrics = s.hist
 	s.sim.ResetStats()
+	s.sim.SetFrameHists(s.hist.EventsPerFrame, s.hist.GatesVisitedPerFrame)
 }
 
 // mergeStats folds one worker's accumulator into the run totals.

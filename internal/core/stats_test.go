@@ -92,8 +92,11 @@ func TestStagesSerialParallelCrossCheck(t *testing.T) {
 	if ser.Stages.Sim != par.Stages.Sim {
 		t.Errorf("sim stats differ:\n  serial:   %+v\n  parallel: %+v", ser.Stages.Sim, par.Stages.Sim)
 	}
-	if ser.Stages.Sim.DeltaFrames == 0 {
-		t.Error("DeltaFrames = 0; step-0 resimulation not counted")
+	if ser.Stages.Sim.EventFrames == 0 {
+		t.Error("EventFrames = 0; step-0 resimulation not counted")
+	}
+	if ser.Stages.Sim.Events == 0 || ser.Stages.Sim.EventGateEvals == 0 {
+		t.Errorf("event counters empty: %+v", ser.Stages.Sim)
 	}
 	if ser.Stages.PrescreenFrames != par.Stages.PrescreenFrames ||
 		ser.Stages.PrescreenSavedFrames != par.Stages.PrescreenSavedFrames {

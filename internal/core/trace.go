@@ -3,7 +3,33 @@ package core
 import (
 	"bufio"
 	"encoding/json"
+
+	"repro/internal/seqsim"
 )
+
+// SimTrace summarizes the step-0 frame evaluations of one fault for the
+// JSONL trace and span attributes: sparse faulty frames evaluated,
+// node value changes (events) propagated, and gate evaluations
+// performed. The counters are evaluator-invariant — the event-driven
+// and level-order paths evaluate the same gate set and change the same
+// nodes — so the summary is byte-identical across Config.EventSim
+// settings, bit-parallel-resim settings, and worker counts.
+type SimTrace struct {
+	Frames    int64 `json:"sim_frames,omitempty"`
+	Events    int64 `json:"sim_events,omitempty"`
+	GateEvals int64 `json:"sim_gate_evals,omitempty"`
+}
+
+// simTraceDelta summarizes the sparse-frame work between two readings
+// of a simulator's counters, folding the two evaluator modes together
+// (exactly one runs per frame, and they do identical work).
+func simTraceDelta(before, after seqsim.SimStats) SimTrace {
+	return SimTrace{
+		Frames:    (after.DeltaFrames + after.EventFrames) - (before.DeltaFrames + before.EventFrames),
+		Events:    after.Events - before.Events,
+		GateEvals: (after.DeltaGateEvals + after.EventGateEvals) - (before.DeltaGateEvals + before.EventGateEvals),
+	}
+}
 
 // TraceDetection is a conventional detection site in a trace event.
 type TraceDetection struct {
@@ -39,6 +65,10 @@ type TraceEvent struct {
 	// lanes packed, serial fallbacks; see ResimTrace). Deterministic for
 	// a given configuration; omitted when the fault never resimulated.
 	Resim *ResimTrace `json:"resim,omitempty"`
+	// Sim summarizes the fault's step-0 frame evaluations (sparse frames,
+	// events, gate evaluations; see SimTrace). Deterministic and
+	// evaluator-invariant; omitted when step 0 did no sparse work.
+	Sim *SimTrace `json:"sim,omitempty"`
 	// Timing is the per-fault stage breakdown in nanoseconds; only with
 	// Config.TraceTimings, and zero for prescreen-dropped faults (they
 	// never enter the per-fault pipeline).
@@ -46,7 +76,7 @@ type TraceEvent struct {
 }
 
 // traceEvent builds the trace line for one outcome.
-func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS, resim *ResimTrace) TraceEvent {
+func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS, resim *ResimTrace, sim *SimTrace) TraceEvent {
 	ev := TraceEvent{
 		Fault:      o.Fault.Name(s.c),
 		Outcome:    o.Outcome.String(),
@@ -65,6 +95,9 @@ func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS, resim *ResimTra
 	if resim != nil && *resim != (ResimTrace{}) {
 		ev.Resim = resim
 	}
+	if sim != nil && *sim != (SimTrace{}) {
+		ev.Sim = sim
+	}
 	ev.Timing = timing
 	return ev
 }
@@ -72,9 +105,9 @@ func (s *Simulator) traceEvent(o *FaultOutcome, timing *StageNS, resim *ResimTra
 // writeTrace emits one JSONL event per fault to Config.TraceWriter, in
 // fault-list order. It runs after the fault loop completes — never from
 // worker goroutines — so the output is identical for any worker count.
-// traceTimes and traceResims are indexed like res.Outcomes and may be
-// nil (no timings / no trace at all).
-func (s *Simulator) writeTrace(res *Result, traceTimes []StageNS, traceResims []ResimTrace) error {
+// traceTimes, traceResims and traceSims are indexed like res.Outcomes
+// and may be nil (no timings / no trace at all).
+func (s *Simulator) writeTrace(res *Result, traceTimes []StageNS, traceResims []ResimTrace, traceSims []SimTrace) error {
 	if s.cfg.TraceWriter == nil {
 		return nil
 	}
@@ -88,7 +121,11 @@ func (s *Simulator) writeTrace(res *Result, traceTimes []StageNS, traceResims []
 		if traceResims != nil {
 			resim = &traceResims[k]
 		}
-		ev := s.traceEvent(&res.Outcomes[k], timing, resim)
+		var sim *SimTrace
+		if traceSims != nil {
+			sim = &traceSims[k]
+		}
+		ev := s.traceEvent(&res.Outcomes[k], timing, resim, sim)
 		data, err := json.Marshal(ev)
 		if err != nil {
 			return err
@@ -120,4 +157,14 @@ func (s *Simulator) traceResims(n int) []ResimTrace {
 		return nil
 	}
 	return make([]ResimTrace, n)
+}
+
+// traceSims allocates the per-fault frame-evaluation-summary buffer
+// when a trace is requested. Deterministic and evaluator-invariant, so
+// it rides along on every trace.
+func (s *Simulator) traceSims(n int) []SimTrace {
+	if s.cfg.TraceWriter == nil {
+		return nil
+	}
+	return make([]SimTrace, n)
 }

@@ -51,6 +51,11 @@ type Options struct {
 	// serial per-sequence path. Results are identical either way;
 	// disabling it exists for cross-checking and timing.
 	DisableBitParallelResim bool
+	// DisableEventSim turns off the event-driven sparse-delta frame
+	// evaluator (on by default via core.DefaultConfig), forcing the
+	// level-order copy-and-propagate path. Results are identical either
+	// way; disabling it exists for cross-checking and timing.
+	DisableEventSim bool
 	// Progress, when non-nil, receives per-fault progress.
 	Progress func(circuit string, done, total int)
 	// Live, when non-nil, receives coarse-cadence live snapshots from
@@ -78,6 +83,10 @@ func (o Options) configs() (core.Config, core.Config) {
 	if o.DisableBitParallelResim {
 		p.BitParallelResim = false
 		b.BitParallelResim = false
+	}
+	if o.DisableEventSim {
+		p.EventSim = false
+		b.EventSim = false
 	}
 	p.Live = o.Live
 	b.Live = o.Live

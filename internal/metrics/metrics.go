@@ -109,6 +109,88 @@ func ExpBounds(start, factor int64, n int) []int64 {
 	return bounds
 }
 
+// batchFlushEvery bounds how stale a HistBatch can leave its shared
+// histogram: the batch auto-flushes after this many observations, so
+// mid-run scrapes lag by at most one batch.
+const batchFlushEvery = 512
+
+// HistBatch is a single-goroutine accumulator feeding a shared
+// Histogram. Observe is plain arithmetic — no atomics — which matters
+// for per-frame observation sites that fire hundreds of thousands of
+// times per run; Flush merges the accumulated buckets into the shared
+// histogram in one atomic pass and empties the batch. Observe
+// auto-flushes every batchFlushEvery observations. Not safe for
+// concurrent use; create one per goroutine over the same Histogram.
+type HistBatch struct {
+	h      *Histogram
+	counts []int64
+	count  int64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// NewBatch returns an empty single-goroutine batch over h.
+func (h *Histogram) NewBatch() *HistBatch {
+	return &HistBatch{
+		h:      h,
+		counts: make([]int64, len(h.counts)),
+		min:    math.MaxInt64,
+		max:    math.MinInt64,
+	}
+}
+
+// Observe records one value into the batch.
+func (b *HistBatch) Observe(v int64) {
+	h := b.h
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	b.counts[i]++
+	b.count++
+	b.sum += v
+	if v < b.min {
+		b.min = v
+	}
+	if v > b.max {
+		b.max = v
+	}
+	if b.count >= batchFlushEvery {
+		b.Flush()
+	}
+}
+
+// Flush merges the batch into the shared histogram and empties it.
+func (b *HistBatch) Flush() {
+	if b.count == 0 {
+		return
+	}
+	h := b.h
+	for i := range b.counts {
+		if b.counts[i] != 0 {
+			h.counts[i].Add(b.counts[i])
+			b.counts[i] = 0
+		}
+	}
+	h.count.Add(b.count)
+	h.sum.Add(b.sum)
+	for {
+		cur := h.min.Load()
+		if b.min >= cur || h.min.CompareAndSwap(cur, b.min) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if b.max <= cur || h.max.CompareAndSwap(cur, b.max) {
+			break
+		}
+	}
+	b.count, b.sum = 0, 0
+	b.min, b.max = math.MaxInt64, math.MinInt64
+}
+
 // Observe records one value.
 func (h *Histogram) Observe(v int64) {
 	i := 0

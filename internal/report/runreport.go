@@ -67,12 +67,14 @@ type StagesReport struct {
 
 // HistogramsReport holds the per-fault distribution snapshots.
 type HistogramsReport struct {
-	PairsPerFault      metrics.Snapshot `json:"pairs_per_fault"`
-	ExpansionsPerFault metrics.Snapshot `json:"expansions_per_fault"`
-	SequencesAtStop    metrics.Snapshot `json:"sequences_at_stop"`
-	FaultTimeNS        metrics.Snapshot `json:"fault_time_ns"`
-	ConeGatesPerFault  metrics.Snapshot `json:"cone_gates_per_fault"`
-	ResimLanesPerPass  metrics.Snapshot `json:"resim_lanes_per_pass"`
+	PairsPerFault        metrics.Snapshot `json:"pairs_per_fault"`
+	ExpansionsPerFault   metrics.Snapshot `json:"expansions_per_fault"`
+	SequencesAtStop      metrics.Snapshot `json:"sequences_at_stop"`
+	FaultTimeNS          metrics.Snapshot `json:"fault_time_ns"`
+	ConeGatesPerFault    metrics.Snapshot `json:"cone_gates_per_fault"`
+	ResimLanesPerPass    metrics.Snapshot `json:"resim_lanes_per_pass"`
+	EventsPerFrame       metrics.Snapshot `json:"events_per_frame"`
+	GatesVisitedPerFrame metrics.Snapshot `json:"gates_visited_per_frame"`
 }
 
 // NewRunReport builds the JSON summary from a run result.
@@ -120,12 +122,14 @@ func NewRunReport(res *core.Result, method string, patterns, workers int, elapse
 	}
 	if m := res.Metrics; m != nil {
 		r.Histograms = &HistogramsReport{
-			PairsPerFault:      m.PairsPerFault.Snapshot(),
-			ExpansionsPerFault: m.ExpansionsPerFault.Snapshot(),
-			SequencesAtStop:    m.SequencesAtStop.Snapshot(),
-			FaultTimeNS:        m.FaultTimeNS.Snapshot(),
-			ConeGatesPerFault:  m.ConeGatesPerFault.Snapshot(),
-			ResimLanesPerPass:  m.ResimLanesPerPass.Snapshot(),
+			PairsPerFault:        m.PairsPerFault.Snapshot(),
+			ExpansionsPerFault:   m.ExpansionsPerFault.Snapshot(),
+			SequencesAtStop:      m.SequencesAtStop.Snapshot(),
+			FaultTimeNS:          m.FaultTimeNS.Snapshot(),
+			ConeGatesPerFault:    m.ConeGatesPerFault.Snapshot(),
+			ResimLanesPerPass:    m.ResimLanesPerPass.Snapshot(),
+			EventsPerFrame:       m.EventsPerFrame.Snapshot(),
+			GatesVisitedPerFrame: m.GatesVisitedPerFrame.Snapshot(),
 		}
 	}
 	return r
@@ -182,9 +186,9 @@ func FormatRunStats(res *core.Result) string {
 		fmt.Fprintf(&sb, "  prescreen frames: %d simulated, %d saved by early exit\n",
 			st.PrescreenFrames, st.PrescreenSavedFrames)
 	}
-	if sim := st.Sim; sim.DeltaFrames+sim.FullFrames > 0 {
-		fmt.Fprintf(&sb, "  serial sim frames: %d delta (%d gate evals), %d full\n",
-			sim.DeltaFrames, sim.DeltaGateEvals, sim.FullFrames)
+	if sim := st.Sim; sim.DeltaFrames+sim.EventFrames+sim.FullFrames > 0 {
+		fmt.Fprintf(&sb, "  serial sim frames: %d delta (%d gate evals), %d event (%d gate evals, %d events), %d full\n",
+			sim.DeltaFrames, sim.DeltaGateEvals, sim.EventFrames, sim.EventGateEvals, sim.Events, sim.FullFrames)
 	}
 	if p := st.Pool; p != (core.PoolStats{}) {
 		fmt.Fprintf(&sb, "  pools: frames %d reused / %d allocated; seqs %d reused / %d allocated; traces %d reused / %d allocated\n",
@@ -199,6 +203,10 @@ func FormatRunStats(res *core.Result) string {
 		fmt.Fprintf(&sb, "  cone gates/fault: %s\n", m.ConeGatesPerFault.Snapshot())
 		if lanes := m.ResimLanesPerPass.Snapshot(); lanes.Count > 0 {
 			fmt.Fprintf(&sb, "  resim lanes/pass: %s\n", lanes)
+		}
+		if ev := m.EventsPerFrame.Snapshot(); ev.Count > 0 {
+			fmt.Fprintf(&sb, "  events/frame:     %s\n", ev)
+			fmt.Fprintf(&sb, "  gates/frame:      %s\n", m.GatesVisitedPerFrame.Snapshot())
 		}
 		fmt.Fprintf(&sb, "  fault time:       %s\n", m.FaultTimeNS.Snapshot().DurationString())
 	}
@@ -225,8 +233,8 @@ func FormatLiveSnapshot(s core.LiveSnapshot) string {
 		s.MOTFaults, s.Pairs, s.Expansions, s.Sequences, s.ImplyCalls)
 	fmt.Fprintf(&sb, "    bit-parallel resim: %d vector passes over %d frames, %d serial fallbacks\n",
 		s.ResimVectorPasses, s.ResimVectorFrames, s.ResimSerialFallbacks)
-	fmt.Fprintf(&sb, "    serial sim frames: %d delta (%d gate evals), %d full\n",
-		s.DeltaFrames, s.DeltaGateEvals, s.FullFrames)
+	fmt.Fprintf(&sb, "    serial sim frames: %d delta (%d gate evals), %d event (%d gate evals, %d events), %d full\n",
+		s.DeltaFrames, s.DeltaGateEvals, s.EventFrames, s.EventGateEvals, s.Events, s.FullFrames)
 	fmt.Fprintf(&sb, "    stage seconds: step0=%.3f collect=%.3f (imply~%.3f) expand=%.3f resim=%.3f total=%.3f\n",
 		float64(s.Step0NS)/1e9, float64(s.CollectNS)/1e9, float64(s.ImplyNS)/1e9,
 		float64(s.ExpandNS)/1e9, float64(s.ResimNS)/1e9, float64(s.TotalNS)/1e9)

@@ -140,8 +140,10 @@ func TestFormatLiveSnapshotMatchesMergedStats(t *testing.T) {
 			res.Stages.PrescreenPasses, res.Stages.PrescreenDropped, res.Stages.PrescreenFrames),
 		fmt.Sprintf("pipeline: %d faults, %d pairs, %d expansions, %d sequences, %d implication calls",
 			res.Stages.MOTFaults, res.Pairs, res.Expansions, res.Sequences, res.Stages.ImplyCalls),
-		fmt.Sprintf("serial sim frames: %d delta (%d gate evals), %d full",
-			res.Stages.Sim.DeltaFrames, res.Stages.Sim.DeltaGateEvals, res.Stages.Sim.FullFrames),
+		fmt.Sprintf("serial sim frames: %d delta (%d gate evals), %d event (%d gate evals, %d events), %d full",
+			res.Stages.Sim.DeltaFrames, res.Stages.Sim.DeltaGateEvals,
+			res.Stages.Sim.EventFrames, res.Stages.Sim.EventGateEvals, res.Stages.Sim.Events,
+			res.Stages.Sim.FullFrames),
 	} {
 		if !strings.Contains(outP, want) {
 			t.Errorf("live section missing %q:\n%s", want, outP)

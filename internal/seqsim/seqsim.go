@@ -18,6 +18,7 @@ import (
 	"repro/internal/cir"
 	"repro/internal/fault"
 	"repro/internal/logic"
+	"repro/internal/metrics"
 	"repro/internal/netlist"
 )
 
@@ -114,26 +115,40 @@ func (t *Trace) MemSize() int64 {
 }
 
 // SimStats counts the work a Simulator performed: time frames by
-// evaluation mode and gate evaluations on the event-driven path. The
-// counters are plain fields maintained by the simulator's single
-// goroutine; merge per-worker copies with Merge.
+// evaluation mode, gate evaluations on the sparse paths, and node value
+// changes (events). The counters are plain fields maintained by the
+// simulator's single goroutine; merge per-worker copies with Merge.
 type SimStats struct {
-	// DeltaFrames counts faulty frames evaluated by event-driven delta
-	// propagation from the fault-free baseline; FullFrames counts frames
-	// where every gate was evaluated (fault-free runs, the full-pass
-	// evaluator, and faulty frames without a baseline).
+	// DeltaFrames counts faulty frames evaluated by the level-order
+	// copy-and-propagate evaluator; EventFrames counts frames evaluated
+	// by the event-driven sparse-delta evaluator (no baseline copy);
+	// FullFrames counts frames where every gate was evaluated (fault-free
+	// runs, the full-pass evaluator, and faulty frames without a
+	// baseline). The two sparse modes are mutually exclusive per frame
+	// (Config.EventSim selects one), visit the same gates, and change the
+	// same nodes — only the frame counters differ between them.
 	DeltaFrames int64 `json:"delta_frames"`
+	EventFrames int64 `json:"event_frames"`
 	FullFrames  int64 `json:"full_frames"`
-	// DeltaGateEvals counts gate evaluations performed by the delta
-	// frames — the activity the single-fault-propagation speedup leaves.
+	// DeltaGateEvals/EventGateEvals count gate evaluations performed by
+	// the respective sparse frames — the activity the
+	// single-fault-propagation speedup leaves.
 	DeltaGateEvals int64 `json:"delta_gate_evals"`
+	EventGateEvals int64 `json:"event_gate_evals"`
+	// Events counts node value changes across all sparse frames (both
+	// modes): the divergence the sparse evaluators actually track. It is
+	// identical whichever evaluator runs.
+	Events int64 `json:"events"`
 }
 
 // Merge adds other into s.
 func (s *SimStats) Merge(other SimStats) {
 	s.DeltaFrames += other.DeltaFrames
+	s.EventFrames += other.EventFrames
 	s.FullFrames += other.FullFrames
 	s.DeltaGateEvals += other.DeltaGateEvals
+	s.EventGateEvals += other.EventGateEvals
+	s.Events += other.Events
 }
 
 // Simulator runs three-valued simulation on one circuit. It is not safe
@@ -146,10 +161,27 @@ type Simulator struct {
 	// scratch buffer reused across frames
 	vals []logic.Val
 
-	// delta-evaluation worklist state
+	// delta-evaluation worklist state (the level-order evaluator)
 	dirty   []bool
 	levelQ  [][]netlist.GateID
 	useFull bool
+
+	// event-driven sparse-delta evaluator state. eventSim selects it for
+	// faulty frames (the default); the level-order path above is the
+	// retained cross-check twin. eev is created on first use;
+	// frameSparse reports that the most recent faulty frame lives in
+	// eev's overlay instead of s.vals.
+	eventSim    bool
+	eev         *cir.EventEval
+	frameSparse bool
+
+	// Optional per-frame distribution sinks for the event path (events
+	// and gates visited per sparse frame); nil skips observation. The
+	// batches keep the per-frame hot path free of atomics — callers
+	// flush residuals via FlushFrameHists before reading the shared
+	// histograms.
+	histEvents *metrics.HistBatch
+	histGates  *metrics.HistBatch
 
 	// cone is the active cone of the fault most recently passed to
 	// RunFault/RunFaultInto (unused by the full-pass evaluator), a
@@ -182,13 +214,57 @@ func New(c *netlist.Circuit) *Simulator {
 // sharing cc read-only with any other evaluator.
 func NewCompiled(cc *cir.CC) *Simulator {
 	return &Simulator{
-		cc:     cc,
-		ev:     cc.NewEvaluator(),
-		vals:   make([]logic.Val, cc.NumNodes()),
-		dirty:  make([]bool, cc.NumGates()),
-		levelQ: make([][]netlist.GateID, cc.MaxLevel+1),
-		cone:   cc.ConeOf(&cir.NoFault),
+		cc:       cc,
+		ev:       cc.NewEvaluator(),
+		vals:     make([]logic.Val, cc.NumNodes()),
+		dirty:    make([]bool, cc.NumGates()),
+		levelQ:   make([][]netlist.GateID, cc.MaxLevel+1),
+		cone:     cc.ConeOf(&cir.NoFault),
+		eventSim: true,
 	}
+}
+
+// SetEventSim selects the evaluator for sparse faulty frames: the
+// event-driven sparse-delta evaluator (on, the default) or the retained
+// level-order copy-and-propagate twin (off). Results are byte-identical
+// either way; the switch exists for cross-checking and timing.
+func (s *Simulator) SetEventSim(on bool) { s.eventSim = on }
+
+// SetFrameHists installs per-frame distribution sinks for the event
+// path: events (node value changes) and gates visited per sparse frame.
+// Pass nils to disable observation. Any residual batched observations
+// for previously installed sinks are flushed first.
+func (s *Simulator) SetFrameHists(events, gates *metrics.Histogram) {
+	s.FlushFrameHists()
+	s.histEvents = nil
+	s.histGates = nil
+	if events != nil {
+		s.histEvents = events.NewBatch()
+	}
+	if gates != nil {
+		s.histGates = gates.NewBatch()
+	}
+}
+
+// FlushFrameHists pushes batched per-frame observations into the shared
+// histograms installed by SetFrameHists. Call it before reading those
+// histograms (end of a run, or a worker finishing its share).
+func (s *Simulator) FlushFrameHists() {
+	if s.histEvents != nil {
+		s.histEvents.Flush()
+	}
+	if s.histGates != nil {
+		s.histGates.Flush()
+	}
+}
+
+// ensureEEV lazily builds the event evaluator (full-pass and
+// level-order-only simulators never pay for it).
+func (s *Simulator) ensureEEV() *cir.EventEval {
+	if s.eev == nil {
+		s.eev = s.cc.NewEventEval()
+	}
+	return s.eev
 }
 
 // NewFullPass returns a Simulator that evaluates every gate in every
@@ -390,6 +466,15 @@ func (s *Simulator) prepareCone(f *fault.Fault) bool {
 // the full scan would report.
 func (s *Simulator) checkDetection(good *Trace, u int, coneActive bool) (Detection, bool) {
 	g := good.Outputs[u]
+	if s.frameSparse {
+		for _, j := range s.cone.Outs {
+			b := s.eev.Read(s.cc.Outputs[j])
+			if g[j].IsBinary() && b.IsBinary() && g[j] != b {
+				return Detection{Time: u, Output: int(j)}, true
+			}
+		}
+		return Detection{}, false
+	}
 	if coneActive {
 		for _, j := range s.cone.Outs {
 			b := s.vals[s.cc.Outputs[j]]
@@ -432,13 +517,17 @@ func (s *Simulator) RunFault(T Sequence, good *Trace, f fault.Fault, keepNodes b
 				u, len(pat), cc.NumInputs())
 		}
 		s.evalFaultyFrame(pat, tr.States[u], good, u, &f)
-		tr.Outputs = append(tr.Outputs, outputsOf(cc, s.vals))
+		out := make([]logic.Val, cc.NumOutputs())
+		s.frameOutputsInto(good, u, out)
+		tr.Outputs = append(tr.Outputs, out)
 		if keepNodes {
-			frame := make([]logic.Val, len(s.vals))
-			copy(frame, s.vals)
+			frame := make([]logic.Val, cc.NumNodes())
+			s.frameNodesInto(good, u, frame)
 			tr.Nodes = append(tr.Nodes, frame)
 		}
-		tr.States = append(tr.States, nextState(cc, &f, s.vals))
+		st := make([]logic.Val, cc.NumFFs())
+		s.frameNextStateInto(good, u, &f, st)
+		tr.States = append(tr.States, st)
 		if d, ok := s.checkDetection(good, u, coneActive); ok {
 			return tr, d, true, nil
 		}
@@ -473,13 +562,13 @@ func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fau
 		}
 		s.evalFaultyFrame(pat, tr.States[u], good, u, &f)
 		tr.Outputs = tr.allOutputs[:u+1]
-		outputsInto(cc, s.vals, tr.Outputs[u])
+		s.frameOutputsInto(good, u, tr.Outputs[u])
 		if keepNodes {
 			tr.Nodes = tr.allNodes[:u+1]
-			copy(tr.Nodes[u], s.vals)
+			s.frameNodesInto(good, u, tr.Nodes[u])
 		}
 		tr.States = tr.allStates[:u+2]
-		nextStateInto(cc, &f, s.vals, tr.States[u+1])
+		s.frameNextStateInto(good, u, &f, tr.States[u+1])
 		if d, ok := s.checkDetection(good, u, coneActive); ok {
 			return d, true, nil
 		}
@@ -494,12 +583,111 @@ func (s *Simulator) RunFaultInto(tr *Trace, T Sequence, good *Trace, f fault.Fau
 // the active cone (the cone's present-state differences and the fault
 // site).
 func (s *Simulator) evalFaultyFrame(pat Pattern, ps []logic.Val, good *Trace, u int, f *fault.Fault) {
+	s.frameSparse = false
 	if s.useFull || good.Nodes == nil {
 		s.ev.EvalFrame(pat, ps, f, s.vals)
 		s.stats.FullFrames++
 		return
 	}
+	if s.eventSim {
+		s.evalFrameEventCone(ps, good.Nodes[u], f)
+		s.frameSparse = true
+		return
+	}
 	s.evalFrameDeltaCone(pat, ps, good.Nodes[u], f)
+}
+
+// evalFrameEventCone is the event-driven twin of evalFrameDeltaCone:
+// the faulty frame is evaluated as a sparse overlay over the fault-free
+// frame, seeded from the active cone's present-state differences and
+// the fault site, with no whole-circuit copy. The frame's values stay
+// in the overlay (frameSparse); the read phase patches them over the
+// fault-free rows on demand.
+func (s *Simulator) evalFrameEventCone(ps []logic.Val, goodVals []logic.Val, f *fault.Fault) {
+	cc := s.cc
+	eev := s.ensureEEV()
+	eev.BeginFrame(goodVals, s.cone.Sched())
+	for _, i := range s.cone.FFs {
+		q := cc.FFQ[i]
+		eev.Set(q, f.Observed(q, ps[i]))
+	}
+	s.seedFaultSiteEvent(eev, f)
+	s.finishEventFrame(eev, f)
+}
+
+// seedFaultSiteEvent seeds the event queue with the fault site,
+// mirroring seedFaultSite on the level-order path.
+func (s *Simulator) seedFaultSiteEvent(eev *cir.EventEval, f *fault.Fault) {
+	if f.Node == netlist.NoNode {
+		return
+	}
+	if f.IsStem() {
+		if v, ok := f.StuckNode(f.Node); ok {
+			eev.Set(f.Node, v)
+		}
+	} else {
+		eev.Enqueue(f.Gate)
+	}
+}
+
+// finishEventFrame drains the event queue and accounts the frame.
+func (s *Simulator) finishEventFrame(eev *cir.EventEval, f *fault.Fault) {
+	ge := int64(eev.Drain(f))
+	nEv := int64(len(eev.Touched()))
+	s.stats.EventFrames++
+	s.stats.EventGateEvals += ge
+	s.stats.Events += nEv
+	if s.histEvents != nil {
+		s.histEvents.Observe(nEv)
+	}
+	if s.histGates != nil {
+		s.histGates.Observe(ge)
+	}
+}
+
+// frameOutputsInto writes the faulty frame u's observed outputs into
+// out. A sparse frame is read as the fault-free output row patched at
+// the cone's output positions — the only outputs that can differ.
+func (s *Simulator) frameOutputsInto(good *Trace, u int, out []logic.Val) {
+	if !s.frameSparse {
+		outputsInto(s.cc, s.vals, out)
+		return
+	}
+	copy(out, good.Outputs[u])
+	for _, j := range s.cone.Outs {
+		out[j] = s.eev.Read(s.cc.Outputs[j])
+	}
+}
+
+// frameNextStateInto writes the faulty frame u's next state into st. A
+// sparse frame is read as the fault-free next state patched at the
+// cone's flip-flops: a flip-flop outside the cone has its D node
+// outside the cone (a cone D node pulls its Q node — hence the
+// flip-flop — into the cone), and a stem fault on a Q node puts that
+// flip-flop in the cone, so every divergent or fault-observed state
+// variable is covered by cone.FFs.
+func (s *Simulator) frameNextStateInto(good *Trace, u int, f *fault.Fault, st []logic.Val) {
+	if !s.frameSparse {
+		nextStateInto(s.cc, f, s.vals, st)
+		return
+	}
+	cc := s.cc
+	copy(st, good.States[u+1])
+	for _, i := range s.cone.FFs {
+		st[i] = f.Observed(cc.FFQ[i], s.eev.Read(cc.FFD[i]))
+	}
+}
+
+// frameNodesInto writes the faulty frame u's dense node values into
+// row: a baseline copy patched with the overlay for a sparse frame
+// (one memmove instead of the level-order path's copy-then-recopy).
+func (s *Simulator) frameNodesInto(good *Trace, u int, row []logic.Val) {
+	if !s.frameSparse {
+		copy(row, s.vals)
+		return
+	}
+	copy(row, good.Nodes[u])
+	s.eev.MaterializeInto(row)
 }
 
 // FrameDelta computes the faulty values of one frame from a fault-free
@@ -516,8 +704,56 @@ func (s *Simulator) FrameDelta(pat Pattern, ps []logic.Val, goodVals []logic.Val
 	if f == nil {
 		f = &cir.NoFault
 	}
-	s.evalFrameDelta(pat, ps, goodVals, f)
+	if s.eventSim {
+		s.evalFrameEventFull(pat, ps, goodVals, f)
+	} else {
+		s.evalFrameDelta(pat, ps, goodVals, f)
+	}
 	return s.vals
+}
+
+// evalFrameEventFull is the event-driven twin of evalFrameDelta: full
+// (every input, every state variable, fault site) seeding over the
+// whole-circuit schedule, materialized densely into s.vals to keep
+// FrameDelta's contract.
+func (s *Simulator) evalFrameEventFull(pat Pattern, ps []logic.Val, goodVals []logic.Val, f *fault.Fault) {
+	cc := s.cc
+	eev := s.ensureEEV()
+	eev.BeginFrame(goodVals, cc.FullSched())
+	for i, id := range cc.Inputs {
+		eev.Set(id, f.Observed(id, pat[i]))
+	}
+	for i, q := range cc.FFQ {
+		eev.Set(q, f.Observed(q, ps[i]))
+	}
+	s.seedFaultSiteEvent(eev, f)
+	s.finishEventFrame(eev, f)
+	copy(s.vals, goodVals)
+	eev.MaterializeInto(s.vals)
+	s.frameSparse = false
+}
+
+// EvalFrameSparse evaluates one faulty frame against a dense baseline
+// row of the same fault (base must hold the node values of a frame
+// simulated under the same input pattern and the same fault — e.g. a
+// retained step-0 bad-trace row), seeding only the present-state
+// lines: input and fault-site seeds are no-ops against such a baseline.
+// The frame's values stay sparse; read them through the returned event
+// evaluator, which is valid until the next frame evaluated on this
+// simulator. The caller owns interpretation of f == nil (treated as
+// fault-free).
+func (s *Simulator) EvalFrameSparse(ps []logic.Val, base []logic.Val, f *fault.Fault) *cir.EventEval {
+	if f == nil {
+		f = &cir.NoFault
+	}
+	cc := s.cc
+	eev := s.ensureEEV()
+	eev.BeginFrame(base, cc.FullSched())
+	for i, q := range cc.FFQ {
+		eev.Set(q, f.Observed(q, ps[i]))
+	}
+	s.finishEventFrame(eev, f)
+	return eev
 }
 
 // evalFrameDelta computes faulty frame values by copying the fault-free
@@ -605,6 +841,7 @@ func (s *Simulator) touch(id netlist.NodeID, v logic.Val) {
 		return
 	}
 	s.vals[id] = v
+	s.stats.Events++
 	cc := s.cc
 	for k := cc.FanoutStart[id]; k < cc.FanoutStart[id+1]; k++ {
 		s.push(cc.FanoutGate[k])

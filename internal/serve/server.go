@@ -206,6 +206,9 @@ func addSnapshots(a, b core.LiveSnapshot) core.LiveSnapshot {
 	a.DeltaFrames += b.DeltaFrames
 	a.DeltaGateEvals += b.DeltaGateEvals
 	a.FullFrames += b.FullFrames
+	a.EventFrames += b.EventFrames
+	a.EventGateEvals += b.EventGateEvals
+	a.Events += b.Events
 	return a
 }
 

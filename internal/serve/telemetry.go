@@ -69,6 +69,12 @@ var liveCounters = []struct {
 		func(s core.LiveSnapshot) int64 { return s.DeltaGateEvals }},
 	{"full_frames_total", "Full-pass frames simulated by the serial engine.", false,
 		func(s core.LiveSnapshot) int64 { return s.FullFrames }},
+	{"event_frames_total", "Sparse frames simulated by the event-driven evaluator.", false,
+		func(s core.LiveSnapshot) int64 { return s.EventFrames }},
+	{"event_gate_evals_total", "Gate evaluations inside event-driven frames.", false,
+		func(s core.LiveSnapshot) int64 { return s.EventGateEvals }},
+	{"events_total", "Node value changes propagated by the sparse evaluators.", false,
+		func(s core.LiveSnapshot) int64 { return s.Events }},
 	{"stage_step0_seconds_total", "CPU time in step 0 (serial resim + condition C).", true,
 		func(s core.LiveSnapshot) int64 { return s.Step0NS }},
 	{"stage_collect_seconds_total", "CPU time in pair collection (Section 3.1).", true,
@@ -126,6 +132,10 @@ func RegisterLiveHistograms(reg *metrics.Registry, prefix string, source func() 
 		func(m *core.RunMetrics) *metrics.Histogram { return m.ConeGatesPerFault })
 	hist("resim_lanes_per_pass", "Sequences packed per bit-parallel resimulation pass.", 1,
 		func(m *core.RunMetrics) *metrics.Histogram { return m.ResimLanesPerPass })
+	hist("events_per_frame", "Node value changes per event-driven sparse frame.", 1,
+		func(m *core.RunMetrics) *metrics.Histogram { return m.EventsPerFrame })
+	hist("gates_visited_per_frame", "Gate evaluations per event-driven sparse frame.", 1,
+		func(m *core.RunMetrics) *metrics.Histogram { return m.GatesVisitedPerFrame })
 	hist("fault_seconds", "Per-fault wall time.", 1e-9,
 		func(m *core.RunMetrics) *metrics.Histogram { return m.FaultTimeNS })
 }
