@@ -11,10 +11,12 @@ GO ?= go
 # event-driven evaluator cross-checks (per-worker EventEval scratch and
 # shared schedules), the shared compiled-IR reads in internal/cir,
 # metric registry scrapes under concurrent writers, the serve run
-# registry, the cross-run LRU cache under concurrent submitters, and the
+# registry, the cross-run LRU cache under concurrent submitters, the
 # xtrace span buffers (per-worker writers merging into one tracer while
-# exports/scrapes read it).
-RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server|Span|Event
+# exports/scrapes read it), the rolling-window SLO aggregators
+# (lock-free Observe racing slot rotation and scrapes), and histogram
+# exemplar slots (CAS writers racing exposition reads).
+RACE_PATTERN := Parallel|Prescreen|Pooled|CrossCheck|Server|Span|Event|Window|Exemplar
 RACE_PKGS    := ./internal/core ./internal/bitsim ./internal/cir ./internal/seqsim ./internal/metrics ./internal/serve ./internal/cache ./internal/xtrace
 
 .PHONY: build test vet race verify bench bench-lite bench-collect benchdiff trace

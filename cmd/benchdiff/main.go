@@ -14,6 +14,10 @@
 // nonzero. Benchmarks in the baseline but missing from the run are
 // reported as warnings, never failures, so a restricted -bench pattern
 // still works.
+//
+// -json FILE additionally writes the comparison as a machine-readable
+// report (CI uploads it as an artifact); "-" sends the JSON to stdout
+// instead of the text table.
 package main
 
 import (
@@ -49,6 +53,7 @@ func main() {
 	var (
 		baselinePath = flag.String("baseline", "", "baseline JSON file (compared against its \"after\" section); default: newest BENCH_*.json")
 		threshold    = flag.Float64("threshold", 10, "flag slowdowns beyond this percentage")
+		jsonPath     = flag.String("json", "", "also write the comparison as JSON to this file (- for stdout)")
 	)
 	flag.Parse()
 	if *baselinePath == "" {
@@ -74,14 +79,35 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	ok, err := run(os.Stdout, in, *baselinePath, *threshold)
+	rep, err := compare(in, *baselinePath, *threshold)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	if !ok {
+	rep.writeText(os.Stdout)
+	if *jsonPath != "" {
+		if err := writeJSONReport(*jsonPath, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(1)
+		}
+	}
+	if !rep.OK {
 		os.Exit(1)
 	}
+}
+
+// writeJSONReport writes rep as indented JSON to path ("-" = stdout).
+func writeJSONReport(path string, rep *diffReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // newestBaseline returns the BENCH_*.json file in dir with the latest
@@ -107,26 +133,56 @@ func newestBaseline(dir string) (string, error) {
 	return best, nil
 }
 
+// benchRow is one benchmark's comparison. Pointer fields are absent
+// when the benchmark is missing from one side.
+type benchRow struct {
+	Name       string   `json:"name"`
+	BaselineNs *float64 `json:"baseline_ns_per_op,omitempty"`
+	CurrentNs  *float64 `json:"current_ns_per_op,omitempty"`
+	DeltaPct   *float64 `json:"delta_pct,omitempty"`
+	Regression bool     `json:"regression,omitempty"`
+}
+
+// diffReport is the full comparison: the text table and the -json
+// artifact render from the same struct.
+type diffReport struct {
+	Baseline  string     `json:"baseline"`
+	Threshold float64    `json:"threshold_pct"`
+	OK        bool       `json:"ok"`
+	Rows      []benchRow `json:"benchmarks"`
+}
+
 // run compares the bench output read from in against the baseline file;
 // it returns false when a regression beyond threshold percent was found.
 func run(out io.Writer, in io.Reader, baselinePath string, threshold float64) (bool, error) {
-	data, err := os.ReadFile(baselinePath)
+	rep, err := compare(in, baselinePath, threshold)
 	if err != nil {
 		return false, err
+	}
+	rep.writeText(out)
+	return rep.OK, nil
+}
+
+// compare builds the diff report: baseline rows in name order, then
+// baseline-less benchmarks in name order.
+func compare(in io.Reader, baselinePath string, threshold float64) (*diffReport, error) {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, err
 	}
 	var base baselineFile
 	if err := json.Unmarshal(data, &base); err != nil {
-		return false, fmt.Errorf("%s: %w", baselinePath, err)
+		return nil, fmt.Errorf("%s: %w", baselinePath, err)
 	}
 	if len(base.After) == 0 {
-		return false, fmt.Errorf("%s: no \"after\" benchmarks", baselinePath)
+		return nil, fmt.Errorf("%s: no \"after\" benchmarks", baselinePath)
 	}
 	runs, err := parseBench(in)
 	if err != nil {
-		return false, err
+		return nil, err
 	}
 	if len(runs) == 0 {
-		return false, fmt.Errorf("no benchmark lines in input")
+		return nil, fmt.Errorf("no benchmark lines in input")
 	}
 
 	names := make([]string, 0, len(base.After))
@@ -135,24 +191,20 @@ func run(out io.Writer, in io.Reader, baselinePath string, threshold float64) (b
 	}
 	sort.Strings(names)
 
-	ok := true
-	fmt.Fprintf(out, "%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	rep := &diffReport{Baseline: baselinePath, Threshold: threshold, OK: true}
 	for _, name := range names {
-		got, present := runs[name]
-		if !present {
-			fmt.Fprintf(out, "%-28s %14.0f %14s %8s  (not in this run)\n",
-				name, median(base.After[name].NsPerOp), "-", "-")
-			continue
-		}
 		baseMed := median(base.After[name].NsPerOp)
-		gotMed := median(got)
-		delta := 100 * (gotMed - baseMed) / baseMed
-		mark := ""
-		if delta > threshold {
-			mark = fmt.Sprintf("  REGRESSION (>%g%%)", threshold)
-			ok = false
+		row := benchRow{Name: name, BaselineNs: &baseMed}
+		if got, present := runs[name]; present {
+			gotMed := median(got)
+			delta := 100 * (gotMed - baseMed) / baseMed
+			row.CurrentNs, row.DeltaPct = &gotMed, &delta
+			if delta > threshold {
+				row.Regression = true
+				rep.OK = false
+			}
 		}
-		fmt.Fprintf(out, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, baseMed, gotMed, delta, mark)
+		rep.Rows = append(rep.Rows, row)
 	}
 	extra := make([]string, 0, len(runs))
 	for name := range runs {
@@ -162,12 +214,32 @@ func run(out io.Writer, in io.Reader, baselinePath string, threshold float64) (b
 	}
 	sort.Strings(extra)
 	for _, name := range extra {
-		fmt.Fprintf(out, "%-28s %14s %14.0f %8s  (no baseline)\n", name, "-", median(runs[name]), "-")
+		gotMed := median(runs[name])
+		rep.Rows = append(rep.Rows, benchRow{Name: name, CurrentNs: &gotMed})
 	}
-	if ok {
-		fmt.Fprintf(out, "no regressions beyond %g%%\n", threshold)
+	return rep, nil
+}
+
+// writeText renders the human-readable comparison table.
+func (rep *diffReport) writeText(out io.Writer) {
+	fmt.Fprintf(out, "%-28s %14s %14s %8s\n", "benchmark", "baseline ns/op", "current ns/op", "delta")
+	for _, row := range rep.Rows {
+		switch {
+		case row.CurrentNs == nil:
+			fmt.Fprintf(out, "%-28s %14.0f %14s %8s  (not in this run)\n", row.Name, *row.BaselineNs, "-", "-")
+		case row.BaselineNs == nil:
+			fmt.Fprintf(out, "%-28s %14s %14.0f %8s  (no baseline)\n", row.Name, "-", *row.CurrentNs, "-")
+		default:
+			mark := ""
+			if row.Regression {
+				mark = fmt.Sprintf("  REGRESSION (>%g%%)", rep.Threshold)
+			}
+			fmt.Fprintf(out, "%-28s %14.0f %14.0f %+7.1f%%%s\n", row.Name, *row.BaselineNs, *row.CurrentNs, *row.DeltaPct, mark)
+		}
 	}
-	return ok, nil
+	if rep.OK {
+		fmt.Fprintf(out, "no regressions beyond %g%%\n", rep.Threshold)
+	}
 }
 
 // parseBench extracts ns/op samples from `go test -bench` output, keyed

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -110,6 +111,43 @@ func TestRunFlagsRegression(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "REGRESSION") {
 		t.Errorf("REGRESSION marker missing:\n%s", out.String())
+	}
+}
+
+// TestCompareJSONReport: the -json artifact carries the same verdict
+// and rows as the text table, absent sides omitted rather than zeroed.
+func TestCompareJSONReport(t *testing.T) {
+	rep, err := compare(strings.NewReader(sampleBench), writeBaseline(t, sampleBaseline), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var round diffReport
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatal(err)
+	}
+	if !round.OK || round.Threshold != 10 {
+		t.Errorf("report verdict = ok:%v threshold:%v", round.OK, round.Threshold)
+	}
+	rows := make(map[string]benchRow)
+	for _, r := range round.Rows {
+		rows[r.Name] = r
+	}
+	sg := rows["BenchmarkTable2_sg298"]
+	if sg.BaselineNs == nil || sg.CurrentNs == nil || sg.DeltaPct == nil || sg.Regression {
+		t.Errorf("sg298 row incomplete: %+v", sg)
+	}
+	if miss := rows["BenchmarkTable2_sg641"]; miss.CurrentNs != nil || miss.BaselineNs == nil {
+		t.Errorf("missing-from-run row wrong: %+v", miss)
+	}
+	if fresh := rows["BenchmarkNewThing"]; fresh.BaselineNs != nil || fresh.CurrentNs == nil {
+		t.Errorf("no-baseline row wrong: %+v", fresh)
+	}
+	if strings.Contains(string(data), `"baseline_ns_per_op":0`) {
+		t.Errorf("absent side marshaled as zero:\n%s", data)
 	}
 }
 

@@ -1,0 +1,382 @@
+// Command expolint validates a metrics exposition against the text
+// grammar — Prometheus text format 0.0.4 by default, OpenMetrics 1.0
+// with -openmetrics. It reads from a file argument or stdin and exits
+// nonzero listing every violation, so CI can scrape both content
+// negotiations of /metrics and gate on grammar drift:
+//
+//	curl -s localhost:8080/metrics | expolint
+//	curl -s -H 'Accept: application/openmetrics-text' localhost:8080/metrics | expolint -openmetrics
+//
+// Checked per line: metric/label name charsets, label-value quoting and
+// escapes, numeric sample values, HELP/TYPE comment shape and known
+// types, metadata preceding the family's samples, and duplicate
+// metadata. OpenMetrics mode additionally requires the "# EOF"
+// terminator (and nothing after it), restricts exemplars to counter
+// and histogram-bucket samples, and checks exemplar syntax; in
+// Prometheus mode an exemplar suffix is itself a violation.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	openMetrics := flag.Bool("openmetrics", false, "validate against OpenMetrics 1.0 instead of Prometheus text 0.0.4")
+	flag.Parse()
+	in := os.Stdin
+	name := "<stdin>"
+	if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "expolint: at most one exposition file")
+		os.Exit(2)
+	}
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "expolint:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, flag.Arg(0)
+	}
+	problems, err := lint(in, *openMetrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expolint:", err)
+		os.Exit(1)
+	}
+	for _, p := range problems {
+		fmt.Printf("%s:%s\n", name, p)
+	}
+	if len(problems) > 0 {
+		fmt.Printf("%d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("ok")
+}
+
+var validTypes = map[string]bool{
+	"counter": true, "gauge": true, "histogram": true,
+	"summary": true, "untyped": true, "unknown": true,
+}
+
+// lint scans one exposition and returns every grammar violation as a
+// "line:N: message" string. The error return is for I/O only.
+func lint(r io.Reader, openMetrics bool) ([]string, error) {
+	var problems []string
+	bad := func(n int, format string, args ...any) {
+		problems = append(problems, fmt.Sprintf("%d: %s", n, fmt.Sprintf(format, args...)))
+	}
+
+	// Family metadata seen so far: name -> declared type, plus which
+	// families already emitted samples (metadata must come first).
+	types := make(map[string]string)
+	helped := make(map[string]bool)
+	sampled := make(map[string]bool)
+	sawEOF, afterEOF := false, false
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := sc.Text()
+		if sawEOF {
+			if !afterEOF {
+				bad(n, "content after # EOF terminator")
+				afterEOF = true // report once
+			}
+			continue
+		}
+		switch {
+		case line == "":
+			if openMetrics {
+				bad(n, "blank line (OpenMetrics forbids them)")
+			}
+		case line == "# EOF":
+			if openMetrics {
+				sawEOF = true
+			}
+			// In Prometheus format "# EOF" is just a comment.
+		case strings.HasPrefix(line, "# HELP "):
+			name, ok := lintMetadata(line[len("# HELP "):], n, bad)
+			if ok {
+				if helped[name] {
+					bad(n, "duplicate # HELP for %s", name)
+				}
+				helped[name] = true
+				if sampled[name] {
+					bad(n, "# HELP for %s after its samples", name)
+				}
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			name, ok := lintMetadata(line[len("# TYPE "):], n, bad)
+			if ok {
+				rest := strings.TrimSpace(line[len("# TYPE ")+len(name):])
+				if !validTypes[rest] {
+					bad(n, "unknown type %q for %s", rest, name)
+				}
+				if _, dup := types[name]; dup {
+					bad(n, "duplicate # TYPE for %s", name)
+				}
+				types[name] = rest
+				if sampled[name] {
+					bad(n, "# TYPE for %s after its samples", name)
+				}
+			}
+		case strings.HasPrefix(line, "#"):
+			// Other comments are fine in the Prometheus format;
+			// OpenMetrics only defines HELP, TYPE, UNIT and EOF.
+			if openMetrics && !strings.HasPrefix(line, "# UNIT ") {
+				bad(n, "free-form comment (OpenMetrics allows only HELP/TYPE/UNIT/EOF)")
+			}
+		default:
+			name := lintSample(line, n, openMetrics, types, bad)
+			if name != "" {
+				sampled[familyOf(name)] = true
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if openMetrics && !sawEOF {
+		bad(n, "missing # EOF terminator")
+	}
+	return problems, nil
+}
+
+// lintMetadata validates the metric name of a HELP/TYPE comment body
+// and returns it.
+func lintMetadata(body string, n int, bad func(int, string, ...any)) (string, bool) {
+	name, _, found := strings.Cut(body, " ")
+	if !found || name == "" {
+		bad(n, "metadata comment without a metric name")
+		return "", false
+	}
+	if !validMetricName(name) {
+		bad(n, "invalid metric name %q", name)
+		return name, false
+	}
+	return name, true
+}
+
+// familyOf strips the histogram/summary per-series suffixes so samples
+// map back to the family their # TYPE declared.
+func familyOf(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count", "_total", "_created"} {
+		if f, ok := strings.CutSuffix(name, suffix); ok && f != "" {
+			return f
+		}
+	}
+	return name
+}
+
+// lintSample validates one sample line and returns its metric name (""
+// when the line is too broken to have one).
+func lintSample(line string, n int, openMetrics bool, types map[string]string, bad func(int, string, ...any)) string {
+	rest := line
+	name := rest
+	if i := strings.IndexAny(rest, "{ "); i >= 0 {
+		name = rest[:i]
+	}
+	if !validMetricName(name) {
+		bad(n, "invalid metric name %q", name)
+		return ""
+	}
+	rest = rest[len(name):]
+	if strings.HasPrefix(rest, "{") {
+		body, after, ok := cutLabels(rest)
+		if !ok {
+			bad(n, "unterminated label set in %q", line)
+			return name
+		}
+		lintLabels(body, n, bad)
+		rest = after
+	}
+	rest = strings.TrimLeft(rest, " ")
+
+	// Value, then optional timestamp, then (OpenMetrics) optional
+	// exemplar introduced by " # ".
+	sample, exemplar, hasEx := strings.Cut(rest, " # ")
+	fields := strings.Fields(sample)
+	if len(fields) == 0 {
+		bad(n, "sample %s has no value", name)
+		return name
+	}
+	if !validSampleValue(fields[0]) {
+		bad(n, "sample %s has non-numeric value %q", name, fields[0])
+	}
+	if len(fields) > 1 {
+		if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+			bad(n, "sample %s has malformed timestamp %q", name, fields[1])
+		}
+	}
+	if len(fields) > 2 {
+		bad(n, "sample %s has trailing garbage %q", name, strings.Join(fields[2:], " "))
+	}
+	if hasEx {
+		if !openMetrics {
+			bad(n, "exemplar on %s (Prometheus text format has no exemplars)", name)
+			return name
+		}
+		family := familyOf(name)
+		ftype := types[family]
+		allowed := (ftype == "histogram" && strings.HasSuffix(name, "_bucket")) ||
+			(ftype == "counter" && strings.HasSuffix(name, "_total"))
+		if !allowed {
+			bad(n, "exemplar on %s (only counter _total and histogram _bucket samples may carry one)", name)
+		}
+		lintExemplar(exemplar, name, n, bad)
+	}
+	return name
+}
+
+// lintExemplar validates the "{labels} value [timestamp]" tail after
+// the " # " separator.
+func lintExemplar(ex, name string, n int, bad func(int, string, ...any)) {
+	if !strings.HasPrefix(ex, "{") {
+		bad(n, "exemplar on %s missing label set", name)
+		return
+	}
+	body, after, ok := cutLabels(ex)
+	if !ok {
+		bad(n, "exemplar on %s has unterminated labels", name)
+		return
+	}
+	lintLabels(body, n, bad)
+	fields := strings.Fields(after)
+	if len(fields) == 0 || len(fields) > 2 {
+		bad(n, "exemplar on %s needs a value and at most a timestamp", name)
+		return
+	}
+	for _, f := range fields {
+		if !validSampleValue(f) {
+			bad(n, "exemplar on %s has non-numeric field %q", name, f)
+		}
+	}
+}
+
+// cutLabels splits a "{...}rest" string at the first unquoted '}',
+// honoring escapes inside quoted label values.
+func cutLabels(s string) (body, rest string, ok bool) {
+	inQuote := false
+	for i := 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++ // skip the escaped byte
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return s[1:i], s[i+1:], true
+		}
+	}
+	return "", "", false
+}
+
+// lintLabels validates a comma-separated name="value" list.
+func lintLabels(body string, n int, bad func(int, string, ...any)) {
+	if strings.TrimSpace(body) == "" {
+		return // {} is legal
+	}
+	for _, pair := range splitLabelPairs(body) {
+		name, val, found := strings.Cut(pair, "=")
+		if !found {
+			bad(n, "label %q is not name=\"value\"", pair)
+			continue
+		}
+		if !validLabelName(name) {
+			bad(n, "invalid label name %q", name)
+		}
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			bad(n, "label %s value %q is not quoted", name, val)
+			continue
+		}
+		if !validEscapes(val[1 : len(val)-1]) {
+			bad(n, "label %s value %s has an invalid escape", name, val)
+		}
+	}
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var pairs []string
+	inQuote, start := false, 0
+	for i := 0; i < len(body); i++ {
+		switch {
+		case inQuote && body[i] == '\\':
+			i++
+		case body[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && body[i] == ',':
+			pairs = append(pairs, body[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(body) {
+		pairs = append(pairs, body[start:])
+	}
+	return pairs
+}
+
+// validEscapes accepts only the exposition escapes \\, \" and \n.
+func validEscapes(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			continue
+		}
+		if i+1 >= len(s) {
+			return false
+		}
+		switch s[i+1] {
+		case '\\', '"', 'n':
+			i++
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validSampleValue accepts Go float syntax plus the exposition
+// spellings +Inf, -Inf and NaN.
+func validSampleValue(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN", "Inf":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// cleanExposition is grammatically valid in both formats except for
+// the missing # EOF (OpenMetrics only).
+const cleanExposition = `# HELP reqs_total Total requests.
+# TYPE reqs_total counter
+reqs_total 42
+# HELP lat_seconds Request latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 40
+lat_seconds_bucket{le="+Inf"} 42
+lat_seconds_sum 3.5
+lat_seconds_count 42
+temp{site="lab",unit="C"} -3.25
+`
+
+func lintString(t *testing.T, in string, openMetrics bool) []string {
+	t.Helper()
+	problems, err := lint(strings.NewReader(in), openMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return problems
+}
+
+func TestLintCleanPrometheus(t *testing.T) {
+	if p := lintString(t, cleanExposition, false); len(p) != 0 {
+		t.Errorf("clean exposition flagged: %v", p)
+	}
+}
+
+func TestLintOpenMetricsEOF(t *testing.T) {
+	p := lintString(t, cleanExposition, true)
+	if len(p) != 1 || !strings.Contains(p[0], "missing # EOF") {
+		t.Errorf("EOF-less OpenMetrics = %v, want the one missing-EOF problem", p)
+	}
+	if p := lintString(t, cleanExposition+"# EOF\n", true); len(p) != 0 {
+		t.Errorf("terminated OpenMetrics flagged: %v", p)
+	}
+	p = lintString(t, cleanExposition+"# EOF\nstray 1\n", true)
+	if len(p) != 1 || !strings.Contains(p[0], "after # EOF") {
+		t.Errorf("content after EOF = %v", p)
+	}
+}
+
+func TestLintExemplarRules(t *testing.T) {
+	withEx := `# TYPE lat_seconds histogram
+lat_seconds_bucket{le="+Inf"} 2 # {fault="g17/saf0",span_id="00deadbeef001122"} 0.5
+lat_seconds_sum 1
+lat_seconds_count 2
+# EOF
+`
+	if p := lintString(t, withEx, true); len(p) != 0 {
+		t.Errorf("legal exemplar flagged: %v", p)
+	}
+	// The same line is a violation under the Prometheus grammar.
+	p := lintString(t, withEx, false)
+	if len(p) != 1 || !strings.Contains(p[0], "no exemplars") {
+		t.Errorf("Prometheus-mode exemplar = %v", p)
+	}
+	// Gauges may not carry exemplars even in OpenMetrics.
+	onGauge := "# TYPE temp gauge\ntemp 3 # {x=\"y\"} 3\n# EOF\n"
+	p = lintString(t, onGauge, true)
+	if len(p) != 1 || !strings.Contains(p[0], "may carry one") {
+		t.Errorf("gauge exemplar = %v", p)
+	}
+}
+
+func TestLintViolations(t *testing.T) {
+	cases := map[string]string{
+		"bad-metric-name":   "1up 3\n",
+		"bad-label-name":    `m{0x="v"} 3` + "\n",
+		"unquoted-value":    `m{l=v} 3` + "\n",
+		"bad-escape":        `m{l="a\q"} 3` + "\n",
+		"unterminated":      `m{l="v" 3` + "\n",
+		"no-value":          "m\n",
+		"non-numeric":       "m hello\n",
+		"bad-timestamp":     "m 3 yesterday\n",
+		"trailing-garbage":  "m 3 4 5\n",
+		"unknown-type":      "# TYPE m thermometer\n",
+		"dup-type":          "# TYPE m gauge\n# TYPE m gauge\nm 1\n",
+		"metadata-after":    "m 1\n# TYPE m gauge\n",
+		"nameless-metadata": "# HELP \n",
+	}
+	for label, in := range cases {
+		if p := lintString(t, in, false); len(p) == 0 {
+			t.Errorf("%s: %q passed the lint", label, in)
+		}
+	}
+	// Special values and empty label sets are legal.
+	for _, in := range []string{"m +Inf\n", "m -Inf\n", "m NaN\n", "m{} 1\n", "m 3 1700000000\n"} {
+		if p := lintString(t, in, false); len(p) != 0 {
+			t.Errorf("legal line %q flagged: %v", in, p)
+		}
+	}
+}
+
+// TestLintRealRegistry lints what internal/metrics actually writes in
+// both negotiation modes — the same guarantee the CI smoke job checks
+// against a running motserve.
+func TestLintRealRegistry(t *testing.T) {
+	r := metrics.NewRegistry()
+	c := r.Counter("expolint_reqs_total", "Requests.")
+	c.Add(2)
+	h := r.Histogram("expolint_lat_ns", "Latency.", 100, 1000)
+	h.Observe(50)
+	h.SetExemplar(50, metrics.Label{Key: "fault", Val: `g17"quoted"/saf0`})
+	r.GaugeFunc("expolint_depth", "Depth.", func() float64 { return 3 })
+
+	var prom strings.Builder
+	r.WritePrometheus(&prom)
+	if p := lintString(t, prom.String(), false); len(p) != 0 {
+		t.Errorf("WritePrometheus output flagged: %v\n%s", p, prom.String())
+	}
+
+	var om strings.Builder
+	r.WriteOpenMetrics(&om)
+	if p := lintString(t, om.String(), true); len(p) != 0 {
+		t.Errorf("WriteOpenMetrics output flagged: %v\n%s", p, om.String())
+	}
+}

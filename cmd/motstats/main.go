@@ -39,6 +39,15 @@ type runOptions struct {
 	spans     bool
 	top       int
 
+	// -watch mode: poll a motserve (or -metrics-addr sidecar) /metrics
+	// endpoint and render the live dashboard instead of analyzing a
+	// circuit.
+	watchURL    string
+	watchPrefix string
+	interval    time.Duration
+	once        bool
+	frames      int // tests bound the frame count; 0 = until interrupted
+
 	out io.Writer // nil: os.Stdout
 }
 
@@ -54,6 +63,10 @@ func main() {
 	flag.IntVar(&o.workers, "workers", runtime.NumCPU(), "worker goroutines for the -mot run")
 	flag.BoolVar(&o.spans, "spans", false, "trace every fault of the -mot run and print the top-K stragglers by wall time")
 	flag.IntVar(&o.top, "top", 10, "straggler rows to print with -spans")
+	flag.StringVar(&o.watchURL, "watch", "", "live dashboard over a motserve base URL or metrics address (e.g. localhost:8080)")
+	flag.StringVar(&o.watchPrefix, "watch-prefix", "motserve", "metric-name prefix of the watched exposition")
+	flag.DurationVar(&o.interval, "interval", 2*time.Second, "refresh interval for -watch")
+	flag.BoolVar(&o.once, "once", false, "print one -watch snapshot and exit (automatic without a TTY)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "motstats:", err)
@@ -62,6 +75,9 @@ func main() {
 }
 
 func run(o runOptions) error {
+	if o.watchURL != "" {
+		return runWatch(o)
+	}
 	if o.out == nil {
 		o.out = os.Stdout
 	}

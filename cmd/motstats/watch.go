@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// isTTY reports whether f is an interactive terminal — the gate between
+// the repainting dashboard and the single-snapshot fallback.
+func isTTY(f *os.File) bool {
+	fi, err := f.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// pollMetrics scrapes url and parses the exposition.
+func pollMetrics(client *http.Client, url string) (report.WatchSnapshot, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return report.WatchSnapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return report.WatchSnapshot{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	m, err := report.ParseMetrics(resp.Body)
+	if err != nil {
+		return report.WatchSnapshot{}, err
+	}
+	return report.WatchSnapshot{At: time.Now(), Metrics: m}, nil
+}
+
+// runFollower tracks the newest executing run over the server's SSE
+// event feed, keeping the latest progress snapshot for the dashboard.
+// A nil follower (sidecar endpoints without a run API) is valid and
+// always reports no active run.
+type runFollower struct {
+	base   string
+	client *http.Client
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	runID string
+	live  *core.LiveSnapshot
+}
+
+// newRunFollower starts following base's active runs in the background.
+func newRunFollower(base string, client *http.Client) *runFollower {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &runFollower{base: base, client: client, cancel: cancel, done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		for ctx.Err() == nil {
+			id := f.activeRun(ctx)
+			if id == "" {
+				f.set("", nil)
+				select {
+				case <-ctx.Done():
+				case <-time.After(500 * time.Millisecond):
+				}
+				continue
+			}
+			f.follow(ctx, id)
+		}
+	}()
+	return f
+}
+
+func (f *runFollower) stop() {
+	if f == nil {
+		return
+	}
+	f.cancel()
+	<-f.done
+}
+
+// latest returns the most recent progress snapshot of the followed run,
+// nil when no run is executing.
+func (f *runFollower) latest() (string, *core.LiveSnapshot) {
+	if f == nil {
+		return "", nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.runID, f.live
+}
+
+func (f *runFollower) set(id string, live *core.LiveSnapshot) {
+	f.mu.Lock()
+	f.runID, f.live = id, live
+	f.mu.Unlock()
+}
+
+// activeRun returns the ID of the newest queued or running run, or "".
+// Endpoints without a run API (batch-CLI sidecars) simply yield "".
+func (f *runFollower) activeRun(ctx context.Context) string {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+"/runs", nil)
+	if err != nil {
+		return ""
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return ""
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return ""
+	}
+	var list struct {
+		Runs []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		} `json:"runs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		return ""
+	}
+	for i := len(list.Runs) - 1; i >= 0; i-- {
+		if s := list.Runs[i].Status; s == "running" || s == "queued" {
+			return list.Runs[i].ID
+		}
+	}
+	return ""
+}
+
+// follow streams /runs/{id}/events, updating the latest progress
+// snapshot until the stream ends (run finished) or ctx is canceled. The
+// SSE request carries no timeout — the stream is long-lived by design.
+func (f *runFollower) follow(ctx context.Context, id string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.base+"/runs/"+id+"/events", nil)
+	if err != nil {
+		return
+	}
+	resp, err := (&http.Client{Transport: f.client.Transport}).Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "progress":
+			var live core.LiveSnapshot
+			if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &live) == nil {
+				f.set(id, &live)
+			}
+		}
+	}
+	f.set("", nil)
+}
+
+// runWatch drives the -watch dashboard: poll /metrics on the interval,
+// follow the active run's SSE feed, and repaint the terminal each
+// frame. Without a TTY (or with -once) it prints a single snapshot and
+// exits, so piping motstats -watch into a file stays sane.
+func runWatch(o runOptions) error {
+	out := o.out
+	tty := false
+	if out == nil {
+		out = os.Stdout
+		tty = isTTY(os.Stdout)
+	}
+	base := strings.TrimSuffix(strings.TrimRight(o.watchURL, "/"), "/metrics")
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	if o.interval <= 0 {
+		o.interval = 2 * time.Second
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	once := o.once || (!tty && o.frames == 0)
+	var follower *runFollower
+	if !once {
+		follower = newRunFollower(base, client)
+		defer follower.stop()
+	}
+
+	var prev report.WatchSnapshot
+	for frame := 1; ; frame++ {
+		cur, err := pollMetrics(client, base+"/metrics")
+		switch {
+		case err != nil && frame == 1:
+			return err
+		case err != nil:
+			// Mid-watch scrape failures are transient (server restarting,
+			// run swamping the machine): report and keep the last frame.
+			fmt.Fprintf(out, "scrape error: %v\n", err)
+		default:
+			runID, live := follower.latest()
+			if tty {
+				fmt.Fprint(out, "\x1b[H\x1b[2J") // home + clear: repaint in place
+			}
+			if runID != "" {
+				fmt.Fprintf(out, "following run %s\n", runID)
+			}
+			fmt.Fprint(out, report.FormatWatch(o.watchPrefix, prev, cur, live))
+			prev = cur
+		}
+		if once || (o.frames > 0 && frame >= o.frames) {
+			return nil
+		}
+		time.Sleep(o.interval)
+	}
+}

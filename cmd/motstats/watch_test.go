@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubExposition is a minimal motserve-shaped scrape.
+const stubExposition = `motserve_runs_started_total 1
+motserve_runs_done_total 0
+motserve_runs_active 1
+motserve_runs_queued 0
+motserve_faults_total 100
+motserve_faults_done_total 40
+motserve_detected_conventional_total 30
+motserve_detected_mot_total 2
+motserve_pruned_condition_c_total 8
+motserve_prescreen_dropped_total 0
+motserve_stage_step0_seconds_total 0.5
+motserve_stage_collect_seconds_total 0.25
+motserve_stage_imply_seconds_total 0.1
+motserve_stage_expand_seconds_total 0.05
+motserve_stage_resim_seconds_total 0.05
+motserve_stage_mot_seconds_total 0.85
+motserve_events_total 5000
+motserve_event_frames_total 700
+motserve_resim_vector_passes_total 20
+motserve_imply_calls_total 900
+motserve_go_goroutines 8
+motserve_go_heap_bytes 1048576
+motserve_go_stack_bytes 65536
+motserve_go_gc_cycles_total 2
+motserve_go_alloc_bytes_total 2097152
+`
+
+// stubServer mimics the motserve endpoints -watch touches: /metrics,
+// the run list, and one run's SSE event feed.
+func stubServer(t *testing.T) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var scrapes atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		scrapes.Add(1)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, stubExposition)
+	})
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"runs":[{"id":"r0001","status":"running"}]}`)
+	})
+	mux.HandleFunc("GET /runs/r0001/events", func(w http.ResponseWriter, r *http.Request) {
+		fl := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: progress\ndata: {\"faults_total\":100,\"faults_done\":40,\"detected_conventional\":30}\n\n")
+		fl.Flush()
+		// Keep the stream open until the watcher disconnects, like a
+		// still-executing run would.
+		<-r.Context().Done()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts, &scrapes
+}
+
+// TestWatchSingleSnapshot covers the no-TTY fallback: one scrape, one
+// rendered frame, exit.
+func TestWatchSingleSnapshot(t *testing.T) {
+	ts, scrapes := stubServer(t)
+	var out strings.Builder
+	if err := run(runOptions{watchURL: ts.URL, watchPrefix: "motserve", out: &out}); err != nil {
+		t.Fatal(err)
+	}
+	if n := scrapes.Load(); n != 1 {
+		t.Errorf("snapshot mode scraped %d times, want 1", n)
+	}
+	frame := out.String()
+	for _, want := range []string{
+		"motserve dashboard",
+		"faults: 40/100 done (40.0%)",
+		"go: 8 goroutines",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("snapshot missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Error("snapshot mode emitted ANSI control sequences")
+	}
+}
+
+// TestWatchFollowsActiveRun drives a bounded multi-frame watch and
+// asserts the SSE-followed run's progress shows up in a frame.
+func TestWatchFollowsActiveRun(t *testing.T) {
+	ts, scrapes := stubServer(t)
+	var out strings.Builder
+	err := run(runOptions{
+		watchURL:    ts.URL + "/metrics", // a /metrics URL works as the base too
+		watchPrefix: "motserve",
+		interval:    50 * time.Millisecond,
+		frames:      8,
+		out:         &out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := scrapes.Load(); n != 8 {
+		t.Errorf("watch mode scraped %d times, want 8", n)
+	}
+	frame := out.String()
+	if !strings.Contains(frame, "following run r0001") {
+		t.Errorf("watch frames never showed the followed run:\n%s", frame)
+	}
+	if !strings.Contains(frame, "active run:") || !strings.Contains(frame, "40/100 faults") {
+		t.Errorf("watch frames never rendered the SSE progress snapshot:\n%s", frame)
+	}
+}
+
+// TestWatchBadEndpoint surfaces a first-scrape failure as an error.
+func TestWatchBadEndpoint(t *testing.T) {
+	var out strings.Builder
+	err := run(runOptions{watchURL: "127.0.0.1:1", watchPrefix: "motserve", out: &out})
+	if err == nil {
+		t.Fatal("watch of an unreachable endpoint succeeded")
+	}
+}

@@ -269,7 +269,13 @@ func (s *Simulator) SimulateFault(f fault.Fault) (FaultOutcome, error) {
 	}
 	s.lastStages = d
 	if err == nil && s.hist != nil {
-		s.hist.observeFault(&out, total, int64(s.sim.ConeSize()))
+		cone := int64(s.sim.ConeSize())
+		s.hist.observeFault(&out, total, cone)
+		if s.span != 0 {
+			// The fault is span-sampled: link its bucket in each histogram
+			// back to the fault and the span via OpenMetrics exemplars.
+			s.hist.exemplarFault(&out, total, cone, f.Name(s.c), fmt.Sprintf("%016x", uint64(s.span)))
+		}
 	}
 	return out, err
 }

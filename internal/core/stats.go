@@ -206,6 +206,21 @@ func (m *RunMetrics) observeFault(o *FaultOutcome, totalNS, coneGates int64) {
 	m.ConeGatesPerFault.Observe(coneGates)
 }
 
+// exemplarFault attaches a span-sampled fault's observations as the
+// exemplars of the buckets they landed in, linking each per-fault
+// histogram back to the fault name and its trace span. Called only for
+// faults that carry a live span, so the unsampled hot path never
+// allocates exemplar labels.
+func (m *RunMetrics) exemplarFault(o *FaultOutcome, totalNS, coneGates int64, faultName, spanHex string) {
+	fl := metrics.Label{Key: "fault", Val: faultName}
+	sl := metrics.Label{Key: "span_id", Val: spanHex}
+	m.PairsPerFault.SetExemplar(int64(o.Pairs), fl, sl)
+	m.ExpansionsPerFault.SetExemplar(int64(o.Expansions), fl, sl)
+	m.SequencesAtStop.SetExemplar(int64(o.Sequences), fl, sl)
+	m.FaultTimeNS.SetExemplar(totalNS, fl, sl)
+	m.ConeGatesPerFault.SetExemplar(coneGates, fl, sl)
+}
+
 // beginRun resets the per-run instrumentation state on s according to
 // the configuration and attaches the run histograms to res. Serial Run
 // and the RunParallel parent both call it; parallel workers receive

@@ -67,6 +67,10 @@ type Histogram struct {
 	sum    atomic.Int64
 	min    atomic.Int64 // valid only when count > 0
 	max    atomic.Int64
+	// ex holds the per-bucket exemplar slots, allocated lazily on the
+	// first SetExemplar — a histogram that never records exemplars pays
+	// one nil pointer field and nothing on Observe or Snapshot.
+	ex atomic.Pointer[exemplarSet]
 }
 
 // NewHistogram builds a histogram with the given strictly increasing
@@ -216,6 +220,68 @@ func (h *Histogram) Observe(v int64) {
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Label is one exemplar label: a key/value pair linking a recorded
+// observation back to its origin (span ID, fault name, run ID).
+type Label struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Exemplar is one example observation attached to a histogram bucket:
+// the raw observed value plus the labels identifying where it came
+// from. Exemplars are overwritten in place — each bucket keeps only the
+// most recent one — which is exactly the OpenMetrics exposition model.
+type Exemplar struct {
+	Value  int64   `json:"value"`
+	Labels []Label `json:"labels,omitempty"`
+}
+
+// exemplarSet holds one atomic exemplar slot per histogram bucket
+// (including the overflow bucket).
+type exemplarSet struct {
+	slots []atomic.Pointer[Exemplar]
+}
+
+// exemplars returns the lazily allocated slot set, creating it on first
+// use. Creation races resolve by CAS; the loser's allocation is dropped.
+func (h *Histogram) exemplars() *exemplarSet {
+	if es := h.ex.Load(); es != nil {
+		return es
+	}
+	es := &exemplarSet{slots: make([]atomic.Pointer[Exemplar], len(h.counts))}
+	if h.ex.CompareAndSwap(nil, es) {
+		return es
+	}
+	return h.ex.Load()
+}
+
+// SetExemplar records v (which the caller has already Observed, or is
+// about to) as the exemplar of the bucket v falls in. Call it only for
+// the observations worth linking — e.g. span-sampled faults — so the
+// unsampled hot path never pays the allocation.
+func (h *Histogram) SetExemplar(v int64, labels ...Label) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.exemplars().slots[i].Store(&Exemplar{Value: v, Labels: labels})
+}
+
+// Exemplars returns the current per-bucket exemplars, index-aligned
+// with Snapshot().Buckets; entries are nil for buckets without one, and
+// the slice is nil when the histogram never recorded any.
+func (h *Histogram) Exemplars() []*Exemplar {
+	es := h.ex.Load()
+	if es == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(es.slots))
+	for i := range es.slots {
+		out[i] = es.slots[i].Load()
+	}
+	return out
+}
 
 // Bucket is one bucket of a histogram snapshot: Count observations with
 // value <= Le (Le is math.MaxInt64 for the overflow bucket).

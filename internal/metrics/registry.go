@@ -30,13 +30,19 @@ func (g *Gauge) Load() int64 { return g.v.Load() }
 var validName = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
 
 // entry is one registered metric: a name, a type, and a read function.
-// Exactly one of value and hist is set.
+// Exactly one of value and hist is set; exemplars is optional and only
+// ever set alongside hist.
 type entry struct {
 	name, help string
 	typ        string // "counter", "gauge", or "histogram"
 	value      func() float64
 	hist       func() Snapshot
 	scale      float64 // multiplies histogram bounds/sum (e.g. 1e-9 for ns -> s)
+	// exemplars reads the histogram's per-bucket exemplars at scrape
+	// time (index-aligned with the snapshot buckets); nil histograms and
+	// the Prometheus text format ignore it — only the OpenMetrics
+	// exposition renders exemplars.
+	exemplars func() []*Exemplar
 }
 
 // Registry maps metric names to live read functions and renders them in
@@ -117,10 +123,11 @@ func (r *Registry) GaugeFunc(name, help string, f func() float64) {
 }
 
 // Histogram creates, registers and returns a histogram with the given
-// bucket upper bounds, exposed with cumulative Prometheus buckets.
+// bucket upper bounds, exposed with cumulative Prometheus buckets (and
+// its exemplars in the OpenMetrics mode).
 func (r *Registry) Histogram(name, help string, bounds ...int64) *Histogram {
 	h := NewHistogram(bounds...)
-	r.HistogramFunc(name, help, 1, h.Snapshot)
+	r.HistogramFuncExemplars(name, help, 1, h.Snapshot, h.Exemplars)
 	return h
 }
 
@@ -130,10 +137,17 @@ func (r *Registry) Histogram(name, help string, bounds ...int64) *Histogram {
 // zero-value Snapshot while the underlying histogram does not exist
 // yet. The function must be safe for concurrent calls.
 func (r *Registry) HistogramFunc(name, help string, scale float64, f func() Snapshot) {
+	r.HistogramFuncExemplars(name, help, scale, f, nil)
+}
+
+// HistogramFuncExemplars is HistogramFunc plus an exemplar reader: ex
+// (may be nil) returns the per-bucket exemplars index-aligned with f's
+// snapshot buckets, rendered only by the OpenMetrics exposition.
+func (r *Registry) HistogramFuncExemplars(name, help string, scale float64, f func() Snapshot, ex func() []*Exemplar) {
 	if scale <= 0 {
 		panic(fmt.Sprintf("metrics: histogram %q scale must be positive", name))
 	}
-	r.register(&entry{name: name, help: help, typ: "histogram", hist: f, scale: scale})
+	r.register(&entry{name: name, help: help, typ: "histogram", hist: f, scale: scale, exemplars: ex})
 }
 
 // helpEscaper applies the exposition-format HELP escaping: backslashes
@@ -141,10 +155,17 @@ func (r *Registry) HistogramFunc(name, help string, scale float64, f func() Snap
 var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
 
 // formatFloat renders a sample value the way Prometheus expects:
-// shortest representation, "+Inf" for infinity.
+// shortest representation, "+Inf"/"-Inf" for infinities, and an
+// explicit "NaN" (never a locale- or formatter-dependent spelling) for
+// NaN so scrapers always see the exposition-format token.
 func formatFloat(v float64) string {
-	if math.IsInf(v, +1) {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, +1):
 		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
 	}
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
@@ -213,10 +234,38 @@ func (r *Registry) Names() []string {
 }
 
 // Handler returns an http.Handler serving the exposition, for mounting
-// at /metrics.
+// at /metrics. The default output is the Prometheus text format
+// (version 0.0.4), byte-for-byte what it always was; a client whose
+// Accept header asks for application/openmetrics-text gets the
+// OpenMetrics rendering instead, which additionally carries histogram
+// exemplars and the # EOF terminator.
 func (r *Registry) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			_ = r.WriteOpenMetrics(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header opts into the
+// OpenMetrics exposition. Plain substring matching over the media
+// ranges is enough here: a client that lists the OpenMetrics type at
+// all is a scraper that can parse it (Prometheus sends it first, with
+// the text format as fallback), and clients that never mention it keep
+// the default format untouched.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if mt == "application/openmetrics-text" {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,176 @@
+package report
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// WatchSnapshot is one poll of a /metrics endpoint: the parse time and
+// the flat sample map (labeled samples are keyed "name{labels}").
+type WatchSnapshot struct {
+	At      time.Time
+	Metrics map[string]float64
+}
+
+// ParseMetrics parses a Prometheus text exposition (the OpenMetrics
+// variant parses too — its extra "# EOF" line and exemplar suffixes are
+// skipped) into a flat sample map. Unlabeled samples are keyed by
+// metric name, labeled ones by the full "name{labels}" spelling.
+// Malformed lines are an error — a scrape that half-parses would render
+// a silently wrong dashboard.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	samples := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// "name value" or "name{labels} value [# exemplar]".
+		rest := line
+		var key string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.IndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("parsing metrics: malformed labels in %q", line)
+			}
+			key, rest = line[:j+1], strings.TrimSpace(line[j+1:])
+		} else {
+			fields := strings.Fields(line)
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("parsing metrics: malformed sample %q", line)
+			}
+			key, rest = fields[0], fields[1]
+		}
+		val := strings.Fields(rest)
+		if len(val) == 0 {
+			return nil, fmt.Errorf("parsing metrics: sample %q has no value", line)
+		}
+		v, err := strconv.ParseFloat(val[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing metrics: sample %q: %w", line, err)
+		}
+		samples[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
+// humanBytes renders a byte quantity with a binary-prefix unit.
+func humanBytes(v float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB"}
+	i := 0
+	for v >= 1024 && i < len(units)-1 {
+		v /= 1024
+		i++
+	}
+	if i == 0 {
+		return fmt.Sprintf("%.0f %s", v, units[i])
+	}
+	return fmt.Sprintf("%.1f %s", v, units[i])
+}
+
+// humanCount renders a large count with a decimal-prefix unit.
+func humanCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// ratePerSec computes the per-second rate of a (monotonic) sample
+// between two snapshots, zero when prev is empty or time stood still.
+func ratePerSec(prev, cur WatchSnapshot, name string) float64 {
+	dt := cur.At.Sub(prev.At).Seconds()
+	if prev.Metrics == nil || dt <= 0 {
+		return 0
+	}
+	d := cur.Metrics[name] - prev.Metrics[name]
+	if d < 0 {
+		return 0 // restarted exporter
+	}
+	return d / dt
+}
+
+// seconds renders a seconds-valued sample as a rounded duration.
+func seconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(time.Millisecond).String()
+}
+
+// FormatWatch renders one dashboard frame from the latest two /metrics
+// polls of a motserve (or sidecar) exposition under the given metric
+// prefix, plus the newest SSE progress snapshot when one is being
+// followed. The output is plain text — the caller owns cursor control —
+// and the function is pure, so frames are directly assertable in tests.
+func FormatWatch(prefix string, prev, cur WatchSnapshot, live *core.LiveSnapshot) string {
+	m := func(name string) float64 { return cur.Metrics[prefix+"_"+name] }
+	rate := func(name string) float64 { return ratePerSec(prev, cur, prefix+"_"+name) }
+	var sb strings.Builder
+
+	fmt.Fprintf(&sb, "%s dashboard  %s\n", prefix, cur.At.Format("2006-01-02 15:04:05"))
+	fmt.Fprintf(&sb, "runs: %.0f started, %.0f done, %.0f active, %.0f queued\n",
+		m("runs_started_total"), m("runs_done_total"), m("runs_active"), m("runs_queued"))
+
+	done, total := m("faults_done_total"), m("faults_total")
+	pctDone := 0.0
+	if total > 0 {
+		pctDone = 100 * done / total
+	}
+	fmt.Fprintf(&sb, "faults: %.0f/%.0f done (%.1f%%), %.1f/s | conv %.0f  mot %.0f  pruned-C %.0f  prescreen-dropped %.0f\n",
+		done, total, pctDone, rate("faults_done_total"),
+		m("detected_conventional_total"), m("detected_mot_total"),
+		m("pruned_condition_c_total"), m("prescreen_dropped_total"))
+
+	fmt.Fprintf(&sb, "stage cpu: step0 %s  collect %s (imply %s)  expand %s  resim %s  mot-total %s\n",
+		seconds(m("stage_step0_seconds_total")), seconds(m("stage_collect_seconds_total")),
+		seconds(m("stage_imply_seconds_total")), seconds(m("stage_expand_seconds_total")),
+		seconds(m("stage_resim_seconds_total")), seconds(m("stage_mot_seconds_total")))
+
+	fmt.Fprintf(&sb, "engine: events %s (%s/s)  event frames %s  vector passes %s  imply calls %s (%s/s)\n",
+		humanCount(m("events_total")), humanCount(rate("events_total")),
+		humanCount(m("event_frames_total")), humanCount(m("resim_vector_passes_total")),
+		humanCount(m("imply_calls_total")), humanCount(rate("imply_calls_total")))
+
+	// Server-only series (the sidecar exposition has no cache, HTTP or
+	// run-attribution samples); skip the lines entirely when absent so
+	// sidecar dashboards stay compact.
+	if _, ok := cur.Metrics[prefix+"_cache_hits_total"]; ok {
+		fmt.Fprintf(&sb, "cache: %.0f hits, %.0f misses, %.0f evictions, %s resident\n",
+			m("cache_hits_total"), m("cache_misses_total"),
+			m("cache_evictions_total"), humanBytes(m("cache_bytes_total")))
+	}
+	if _, ok := cur.Metrics[prefix+"_http_run_get_seconds_p95_1m"]; ok {
+		fmt.Fprintf(&sb, "http p95 1m: create %s  get %s  list %s  metrics %s | run p95 1m %s, %.2f runs/s\n",
+			seconds(m("http_run_create_seconds_p95_1m")), seconds(m("http_run_get_seconds_p95_1m")),
+			seconds(m("http_run_list_seconds_p95_1m")), seconds(m("http_metrics_seconds_p95_1m")),
+			seconds(m("run_seconds_p95_1m")), m("run_seconds_rate1m"))
+	}
+	if _, ok := cur.Metrics[prefix+"_run_cpu_seconds_total"]; ok {
+		fmt.Fprintf(&sb, "run resources: cpu %s  alloc %s\n",
+			seconds(m("run_cpu_seconds_total")), humanBytes(m("run_alloc_bytes_total")))
+	}
+
+	fmt.Fprintf(&sb, "go: %.0f goroutines  heap %s  stacks %s  gc %.0f cycles  alloc %s (%s/s)\n",
+		m("go_goroutines"), humanBytes(m("go_heap_bytes")), humanBytes(m("go_stack_bytes")),
+		m("go_gc_cycles_total"), humanBytes(m("go_alloc_bytes_total")),
+		humanBytes(rate("go_alloc_bytes_total")))
+
+	if live != nil {
+		fmt.Fprintf(&sb, "active run:\n%s", FormatLiveSnapshot(*live))
+	}
+	return sb.String()
+}

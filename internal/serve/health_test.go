@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// getHealthz fetches /healthz and returns the status code and body.
+func getHealthz(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestServerHealthzDraining drives the shutdown health transition: a
+// healthy server answers 200 "ok"; once shutdown has begun, /healthz
+// turns 503 "draining" and reports how many submitted runs are still
+// queued or executing.
+func TestServerHealthzDraining(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	if code, body := getHealthz(t, ts.URL); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	// Keep a run in flight (enough patterns that it cannot finish before
+	// the draining check below), then flip the shutdown flag the way
+	// Close does — without Close's cancellation, so the run stays
+	// pending deterministically.
+	st := postRun(t, ts, RunRequest{Circuit: "sg298", Random: 512, Workers: 2})
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	code, body := getHealthz(t, ts.URL)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503 (body %q)", code, body)
+	}
+	if !strings.Contains(body, "draining") {
+		t.Errorf("draining /healthz body = %q, want it to say draining", body)
+	}
+	if !strings.Contains(body, "1 runs pending") {
+		t.Errorf("draining /healthz body = %q, want the pending run counted", body)
+	}
+
+	// New submissions are refused while draining.
+	resp, err := http.Post(ts.URL+"/runs", "application/json",
+		strings.NewReader(`{"circuit":"s27","random":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST /runs while draining = %d, want 503", resp.StatusCode)
+	}
+
+	// Let the in-flight run finish so cleanup's Close returns promptly.
+	waitDone(t, ts, st.ID)
+}
+
+func TestRouteName(t *testing.T) {
+	for _, tc := range []struct{ method, path, want string }{
+		{"POST", "/runs", "run_create"},
+		{"GET", "/runs", "run_list"},
+		{"GET", "/runs/r0001", "run_get"},
+		{"DELETE", "/runs/r0001", "run_delete"},
+		{"GET", "/runs/r0001/events", "run_events"},
+		{"GET", "/runs/r0001/trace", "run_trace"},
+		{"GET", "/debug/events", "debug"},
+		{"GET", "/debug/pprof/heap", "debug"},
+		{"GET", "/metrics", "metrics"},
+		{"GET", "/healthz", "healthz"},
+		{"GET", "/nope", "other"},
+	} {
+		if got := routeName(tc.method, tc.path); got != tc.want {
+			t.Errorf("routeName(%s, %s) = %q, want %q", tc.method, tc.path, got, tc.want)
+		}
+	}
+	// Every label routeName can return has a registered window.
+	s := NewServer(Config{})
+	for _, name := range routeNames {
+		if s.routeWin[name] == nil {
+			t.Errorf("route %q has no registered window", name)
+		}
+	}
+}
+
+// TestServerRouteWindowsAndResources exercises the SLO windows and the
+// per-run resource attribution end to end: requests move the per-route
+// rolling rates, a completed run reports CPU/allocation usage in its
+// JSON, and the aggregate run counters and run-duration window move on
+// /metrics.
+func TestServerRouteWindowsAndResources(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	st := postRun(t, ts, RunRequest{Circuit: "sg298", Random: 64, Workers: 2})
+	fin := waitDone(t, ts, st.ID)
+	if fin.Status != StatusDone {
+		t.Fatalf("run = %q (%s)", fin.Status, fin.Error)
+	}
+
+	if fin.Resources == nil {
+		t.Fatal("finished run reports no resources")
+	}
+	if fin.Resources.AllocBytes <= 0 {
+		t.Errorf("run alloc_bytes = %d, want > 0", fin.Resources.AllocBytes)
+	}
+	if fin.Resources.CPUSeconds < 0 {
+		t.Errorf("run cpu_seconds = %v, want >= 0", fin.Resources.CPUSeconds)
+	}
+
+	samples := scrape(t, ts)
+	// waitDone polled GET /runs/{id} repeatedly, so the run_get window
+	// has observations in the current interval; the final scrape itself
+	// lands in the metrics window only after it returns, so only assert
+	// the routes this test already exercised.
+	for _, name := range []string{
+		"motserve_http_run_create_seconds_rate1m",
+		"motserve_http_run_get_seconds_rate1m",
+		"motserve_run_seconds_rate1m",
+	} {
+		if samples[name] <= 0 {
+			t.Errorf("%s = %v, want > 0", name, samples[name])
+		}
+	}
+	if samples["motserve_http_run_get_seconds_p95_1m"] <= 0 {
+		t.Errorf("run_get p95 = %v, want > 0", samples["motserve_http_run_get_seconds_p95_1m"])
+	}
+	if samples["motserve_run_alloc_bytes_total"] < float64(fin.Resources.AllocBytes) {
+		t.Errorf("aggregate alloc %v < run alloc %d",
+			samples["motserve_run_alloc_bytes_total"], fin.Resources.AllocBytes)
+	}
+	if samples["motserve_run_cpu_seconds_total"] != fin.Resources.CPUSeconds {
+		t.Errorf("aggregate cpu %v != single run cpu %v",
+			samples["motserve_run_cpu_seconds_total"], fin.Resources.CPUSeconds)
+	}
+	// Runtime health series ride on the same registry.
+	if samples["motserve_go_goroutines"] < 1 {
+		t.Errorf("motserve_go_goroutines = %v, want >= 1", samples["motserve_go_goroutines"])
+	}
+	if samples["motserve_go_heap_bytes"] <= 0 {
+		t.Errorf("motserve_go_heap_bytes = %v, want > 0", samples["motserve_go_heap_bytes"])
+	}
+}

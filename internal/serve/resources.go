@@ -1,0 +1,45 @@
+package serve
+
+import (
+	rtm "runtime/metrics"
+	"time"
+)
+
+// RunResources is the per-run resource attribution reported in the run
+// JSON: CPU time and heap allocation measured across the run's
+// execution (slot acquisition to completion). Both are process-wide
+// deltas, so when MaxConcurrent > 1 overlapping runs each absorb the
+// whole process's usage for their duration — attribution is exact only
+// for serialized execution, and an upper bound otherwise.
+type RunResources struct {
+	// CPUSeconds is user+system CPU time consumed while the run
+	// executed (getrusage; zero on platforms without it).
+	CPUSeconds float64 `json:"cpu_seconds"`
+	// AllocBytes is heap allocation during the run (/gc/heap/allocs
+	// delta) — allocated, not resident.
+	AllocBytes int64 `json:"alloc_bytes"`
+}
+
+// resourceSample is one point-in-time reading of the process-wide
+// resource counters a run's usage is computed as the delta of.
+type resourceSample struct {
+	cpu   time.Duration
+	alloc uint64
+}
+
+// sampleResources reads the process CPU clock and the cumulative heap
+// allocation counter.
+func sampleResources() resourceSample {
+	s := []rtm.Sample{{Name: "/gc/heap/allocs:bytes"}}
+	rtm.Read(s)
+	var alloc uint64
+	if s[0].Value.Kind() == rtm.KindUint64 {
+		alloc = s[0].Value.Uint64()
+	}
+	return resourceSample{cpu: processCPUTime(), alloc: alloc}
+}
+
+// delta returns the usage between an earlier sample and this one.
+func (s resourceSample) delta(before resourceSample) (cpu time.Duration, allocBytes int64) {
+	return s.cpu - before.cpu, int64(s.alloc - before.alloc)
+}

@@ -95,12 +95,13 @@ type Run struct {
 	tracer *xtrace.Tracer
 	cancel context.CancelFunc
 
-	mu       sync.Mutex
-	status   string
-	started  time.Time
-	finished time.Time
-	result   *core.Result
-	runErr   error
+	mu        sync.Mutex
+	status    string
+	started   time.Time
+	finished  time.Time
+	result    *core.Result
+	runErr    error
+	resources *RunResources
 }
 
 // RunStatus is the JSON view of a run returned by GET /runs/{id}.
@@ -120,6 +121,10 @@ type RunStatus struct {
 	// Cache reports which memoized artifacts this run reused; absent
 	// when the server's cache is disabled.
 	Cache *CacheInfo `json:"cache,omitempty"`
+
+	// Resources is the run's resource attribution, present once the run
+	// has executed; see RunResources for the overlap caveat.
+	Resources *RunResources `json:"resources,omitempty"`
 
 	// Live is the current (mid-run) or final snapshot of the run's
 	// counters; see core.LiveSnapshot for field semantics.
@@ -296,6 +301,10 @@ func (r *Run) Status() RunStatus {
 		info := r.info
 		st.Cache = &info
 	}
+	if r.resources != nil {
+		res := *r.resources
+		st.Resources = &res
+	}
 	if !r.started.IsZero() {
 		t := r.started
 		st.StartedAt = &t
@@ -312,6 +321,13 @@ func (r *Run) Status() RunStatus {
 		st.Error = r.runErr.Error()
 	}
 	return st
+}
+
+// setResources records the run's measured resource usage.
+func (r *Run) setResources(cpu time.Duration, allocBytes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resources = &RunResources{CPUSeconds: cpu.Seconds(), AllocBytes: allocBytes}
 }
 
 // progressEvery is the cadence of the progress events on a run's event

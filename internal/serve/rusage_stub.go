@@ -1,0 +1,9 @@
+//go:build !unix
+
+package serve
+
+import "time"
+
+// processCPUTime is unavailable off unix; runs report zero CPU seconds
+// there while the allocation attribution still works.
+func processCPUTime() time.Duration { return 0 }

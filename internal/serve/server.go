@@ -75,6 +75,17 @@ type Server struct {
 	wg     sync.WaitGroup
 
 	httpRequests *metrics.Counter
+
+	// routeWin holds one rolling request-latency window per route label
+	// (see routeName); runWin rolls run wall times. Both feed the
+	// *_rate1m/_p95_1m/... gauge families.
+	routeWin map[string]*metrics.Window
+	runWin   *metrics.Window
+
+	// runCPUNS/runAllocBytes accumulate per-run resource attribution
+	// (see RunResources) across all completed executions.
+	runCPUNS      atomic.Int64
+	runAllocBytes atomic.Int64
 }
 
 // NewServer builds a server and registers its metrics: every core
@@ -142,8 +153,39 @@ func NewServer(cfg Config) *Server {
 	s.reg.CounterFunc(cfg.Prefix+"_trace_spans_dropped_total",
 		"Spans discarded because a tracer's merged span store was full.",
 		func() int64 { return s.spanStats().Dropped })
+	metrics.RegisterRuntime(s.reg, cfg.Prefix)
+	s.routeWin = make(map[string]*metrics.Window, len(routeNames))
+	for _, route := range routeNames {
+		w := metrics.NewWindow(routeWindowInterval, routeWindowSpan, httpLatencyBounds()...)
+		s.routeWin[route] = w
+		metrics.RegisterWindow(s.reg, cfg.Prefix+"_http_"+route+"_seconds",
+			"HTTP request latency, route "+route, 1e-9, w)
+	}
+	s.runWin = metrics.NewWindow(routeWindowInterval, routeWindowSpan, runLatencyBounds()...)
+	metrics.RegisterWindow(s.reg, cfg.Prefix+"_run_seconds", "Run wall time", 1e-9, s.runWin)
+	s.reg.CounterFloatFunc(cfg.Prefix+"_run_cpu_seconds_total",
+		"CPU time (user+system) attributed to run execution; overlapping runs each absorb the process total.",
+		func() float64 { return float64(s.runCPUNS.Load()) * 1e-9 })
+	s.reg.CounterFunc(cfg.Prefix+"_run_alloc_bytes_total",
+		"Heap bytes allocated during run execution; overlapping runs each absorb the process total.",
+		func() int64 { return s.runAllocBytes.Load() })
 	return s
 }
+
+// Rolling-window geometry shared by the per-route and per-run windows:
+// 10-second buckets covering the 5-minute horizon.
+const (
+	routeWindowInterval = 10 * time.Second
+	routeWindowSpan     = 5 * time.Minute
+)
+
+// httpLatencyBounds covers ~65 microseconds to ~4.5 minutes in
+// nanoseconds, the plausible span of API request durations.
+func httpLatencyBounds() []int64 { return metrics.ExpBounds(1<<16, 4, 12) }
+
+// runLatencyBounds covers ~1 millisecond to ~18 hours in nanoseconds,
+// the plausible span of whole-run wall times.
+func runLatencyBounds() []int64 { return metrics.ExpBounds(1e6, 4, 13) }
 
 // spanStats sums span accounting over the HTTP tracer and every run
 // tracer. Runs are never removed from the registry, so both sums are
@@ -253,12 +295,26 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /runs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /debug/events", s.handleDebugEvents)
 	mux.Handle("GET /metrics", s.reg.Handler())
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	profiling.RegisterHTTP(mux)
 	return s.withTelemetry(mux)
+}
+
+// handleHealthz is GET /healthz: "ok" while serving, and 503 "draining"
+// with the pending run count once Close has begun — load balancers stop
+// routing to a draining instance while in-flight runs finish.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if closed {
+		pending := s.countStatus(StatusQueued) + s.countStatus(StatusRunning)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "draining (%d runs pending)\n", pending)
+		return
+	}
+	fmt.Fprintln(w, "ok")
 }
 
 // handleCreate is POST /runs: validate, compile, register, and start
@@ -340,11 +396,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 			s.log.Info("run canceled while queued", "run", id)
 			return
 		}
+		before := sampleResources()
 		run.execute(ctx)
+		cpu, alloc := sampleResources().delta(before)
+		run.setResources(cpu, alloc)
+		s.runCPUNS.Add(int64(cpu))
+		s.runAllocBytes.Add(alloc)
 		st := run.Status()
 		attrs := []any{"run", id, "status", st.Status}
 		if st.StartedAt != nil && st.FinishedAt != nil {
-			attrs = append(attrs, "elapsed", st.FinishedAt.Sub(*st.StartedAt).Round(time.Millisecond))
+			elapsed := st.FinishedAt.Sub(*st.StartedAt)
+			s.runWin.Observe(int64(elapsed))
+			attrs = append(attrs, "elapsed", elapsed.Round(time.Millisecond))
 		}
 		if st.Status == StatusDone {
 			attrs = append(attrs, report.ResultAttrs(run.result)...)

@@ -115,12 +115,19 @@ func RegisterLiveCounters(reg *metrics.Registry, prefix string, snap func() core
 // returns nil every series reads zero.
 func RegisterLiveHistograms(reg *metrics.Registry, prefix string, source func() *core.RunMetrics) {
 	hist := func(name, help string, scale float64, pick func(*core.RunMetrics) *metrics.Histogram) {
-		reg.HistogramFunc(prefix+"_"+name, help, scale, func() metrics.Snapshot {
-			if m := source(); m != nil {
-				return pick(m).Snapshot()
-			}
-			return metrics.Snapshot{}
-		})
+		reg.HistogramFuncExemplars(prefix+"_"+name, help, scale,
+			func() metrics.Snapshot {
+				if m := source(); m != nil {
+					return pick(m).Snapshot()
+				}
+				return metrics.Snapshot{}
+			},
+			func() []*metrics.Exemplar {
+				if m := source(); m != nil {
+					return pick(m).Exemplars()
+				}
+				return nil
+			})
 	}
 	hist("pairs_per_fault", "Candidate pairs collected per fault.", 1,
 		func(m *core.RunMetrics) *metrics.Histogram { return m.PairsPerFault })
@@ -149,6 +156,7 @@ func NewRunTelemetry(prefix string) (*metrics.Registry, *core.LiveStats) {
 	live := &core.LiveStats{}
 	RegisterLiveCounters(reg, prefix, live.Snapshot)
 	RegisterLiveHistograms(reg, prefix, live.Metrics)
+	metrics.RegisterRuntime(reg, prefix)
 	return reg, live
 }
 

@@ -58,6 +58,9 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 		next.ServeHTTP(sw, r)
 
 		dur := time.Since(wall)
+		if win := s.routeWin[routeName(r.Method, r.URL.Path)]; win != nil {
+			win.Observe(int64(dur))
+		}
 		attrs := []xtrace.Attr{
 			{Key: "method", Val: r.Method},
 			{Key: "path", Val: r.URL.Path},
@@ -80,6 +83,45 @@ func (s *Server) withTelemetry(next http.Handler) http.Handler {
 		})
 		s.log.Info("request", logAttrs...)
 	})
+}
+
+// routeNames lists every route label a request can map to; the server
+// registers one rolling latency window per label.
+var routeNames = []string{
+	"run_create", "run_list", "run_get", "run_delete",
+	"run_events", "run_trace", "debug", "metrics", "healthz", "other",
+}
+
+// routeName maps a request to its telemetry route label. It is a pure
+// function of the method and path because withTelemetry wraps outside
+// the mux, where the matched pattern is not available; unrecognized
+// paths collapse into "other" so the label set stays fixed.
+func routeName(method, path string) string {
+	switch {
+	case path == "/metrics":
+		return "metrics"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/runs":
+		if method == http.MethodPost {
+			return "run_create"
+		}
+		return "run_list"
+	case strings.HasPrefix(path, "/runs/"):
+		switch {
+		case strings.HasSuffix(path, "/events"):
+			return "run_events"
+		case strings.HasSuffix(path, "/trace"):
+			return "run_trace"
+		case method == http.MethodDelete:
+			return "run_delete"
+		default:
+			return "run_get"
+		}
+	case strings.HasPrefix(path, "/debug/"):
+		return "debug"
+	}
+	return "other"
 }
 
 // requestRunID extracts the run a request addressed: the {id} path
